@@ -1,0 +1,125 @@
+// Command siabench regenerates the paper's tables and figures (§6).
+//
+// Usage:
+//
+//	siabench -experiment table2 -queries 200
+//	siabench -all -queries 40 -scale 1,10
+//
+// Experiments: table1, table2, table3, table4, fig6, fig7, fig8, fig9,
+// motivating. Table 2/3 and Fig. 7/8 share one synthesis sweep; Table 4
+// and Fig. 9 share one runtime run. Defaults are laptop-sized; the paper's
+// scale is -queries 200 -scale 100,1000 (TPC-H SF 1 and 10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sia/internal/experiments"
+	"sia/internal/maxcompute"
+)
+
+func main() {
+	exp := flag.String("experiment", "", "one of table1..table4, fig6..fig9, motivating")
+	all := flag.Bool("all", false, "run every experiment")
+	queries := flag.Int("queries", 40, "number of benchmark queries (paper: 200)")
+	scale := flag.String("scale", "1,10", "comma-separated scale factors (x15k orders; paper SF1/SF10 = 100,1000)")
+	population := flag.Int("population", 2000, "case-study population size (fig6)")
+	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
+	flag.Parse()
+
+	var sfs []float64
+	for _, s := range strings.Split(*scale, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad scale %q: %v", s, err))
+		}
+		sfs = append(sfs, f)
+	}
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, ScaleFactors: sfs}
+
+	run := map[string]bool{}
+	if *all {
+		for _, e := range []string{"table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "motivating"} {
+			run[e] = true
+		}
+	} else if *exp != "" {
+		for _, e := range strings.Split(*exp, ",") {
+			run[strings.ToLower(strings.TrimSpace(e))] = true
+		}
+	} else {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Shared sweeps.
+	var records []experiments.RunRecord
+	needSweep := run["table2"] || run["table3"] || run["fig7"] || run["fig8"]
+	if needSweep {
+		start := time.Now()
+		var err error
+		records, err = experiments.SynthesisSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "synthesis sweep: %d records in %v\n", len(records), time.Since(start).Round(time.Millisecond))
+	}
+	var runtimeRecords []experiments.RuntimeRecord
+	if run["table4"] || run["fig9"] {
+		start := time.Now()
+		var err error
+		runtimeRecords, err = experiments.Fig9(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "runtime experiment: %d records in %v\n", len(runtimeRecords), time.Since(start).Round(time.Millisecond))
+	}
+
+	section := func(title, body string) {
+		fmt.Printf("=== %s ===\n%s\n", title, body)
+	}
+	if run["table1"] {
+		section("Table 1: baseline configurations", experiments.RenderTable1(experiments.Table1()))
+	}
+	if run["table2"] {
+		section("Table 2: efficacy", experiments.RenderTable2(experiments.Table2(records)))
+	}
+	if run["table3"] {
+		section("Table 3: efficiency", experiments.RenderTable3(experiments.Table3(records)))
+	}
+	if run["fig7"] {
+		section("Fig 7: learning-loop iterations", experiments.RenderFig7(experiments.Fig7(records)))
+	}
+	if run["fig8"] {
+		section("Fig 8: sample distribution", experiments.RenderFig8(experiments.Fig8(records)))
+	}
+	if run["table4"] || run["fig9"] {
+		body := experiments.RenderFig9(runtimeRecords, experiments.Summarize(runtimeRecords))
+		section("Fig 9 / Table 4: runtime impact and selectivity", body)
+	}
+	if run["fig6"] {
+		qs, err := maxcompute.Simulate(maxcompute.Config{N: *population})
+		if err != nil {
+			fatal(err)
+		}
+		section("Fig 6: MaxCompute case study (simulated population)", experiments.RenderFig6(qs))
+	}
+	if run["motivating"] {
+		for _, sf := range sfs {
+			m, err := experiments.Motivating(sf)
+			if err != nil {
+				fatal(err)
+			}
+			section(fmt.Sprintf("Motivating example (scale %g)", sf), experiments.RenderMotivating(m))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "siabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Quickstart: synthesize a lineitem-only predicate from the paper's
+// motivating query (§2) using the public API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sia"
+)
+
+func main() {
+	// The §2 predicate joins lineitem and orders; every condition touches
+	// o_orderdate, so nothing can be pushed below the join to lineitem.
+	schema := sia.NewSchema(
+		sia.Date("l_shipdate"),
+		sia.Date("l_commitdate"),
+		sia.Date("o_orderdate"),
+	)
+	pred, err := sia.ParsePredicate(`
+		l_shipdate - o_orderdate < 20
+		AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10
+		AND o_orderdate < DATE '1993-06-01'`, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("original predicate:")
+	fmt.Println(" ", pred)
+	fmt.Println()
+
+	// Ask Sia for a predicate that uses only the two lineitem columns.
+	res, err := sia.Synthesize(pred, []string{"l_commitdate", "l_shipdate"}, schema, sia.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Predicate == nil {
+		log.Fatalf("no predicate synthesized (%s)", res.GaveUp)
+	}
+
+	fmt.Println("synthesized lineitem-only predicate (safe to push below the join):")
+	fmt.Println(" ", res.Predicate)
+	fmt.Println()
+	status := "valid"
+	if res.Optimal {
+		status += ", proven optimal"
+	}
+	fmt.Printf("status: %s after %d iterations (%d TRUE / %d FALSE samples)\n",
+		status, res.Iterations, res.TrueSamples, res.FalseSamples)
+	fmt.Printf("time:   generation %v, learning %v, validation %v\n",
+		res.Timing.Generation, res.Timing.Learning, res.Timing.Validation)
+
+	// The single-column reductions from the paper's Q2 work too.
+	for _, cols := range [][]string{{"l_shipdate"}, {"l_commitdate"}} {
+		r, err := sia.Synthesize(pred, cols, schema, sia.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreduction to %v:\n  %v (optimal=%v)\n", cols, r.Predicate, r.Optimal)
+	}
+}

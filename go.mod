@@ -1,0 +1,3 @@
+module sia
+
+go 1.22

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"sia/internal/predicate"
+	"sia/internal/smt"
+)
+
+// ErrUnsupported is returned when a predicate lies outside the decidable
+// fragment Sia handles (e.g. a non-linear column product whose columns also
+// appear elsewhere in the predicate, §5.2).
+var ErrUnsupported = errors.New("sia: unsupported predicate")
+
+// EncodePredicate translates a predicate into an SMT formula under the
+// two-valued encoding, applying the §5.2 virtual-column rewrite for
+// non-linear terms first. It is the package's one-shot encoding entry
+// point, used by the workload generator (satisfiability re-checks) and the
+// experiment harness.
+func EncodePredicate(p predicate.Predicate, schema *predicate.Schema) (smt.Formula, error) {
+	enc := newEncoder(schema)
+	rw, err := enc.rewriteNonLinear(p)
+	if err != nil {
+		return nil, err
+	}
+	return enc.Encode(rw)
+}
+
+// encoder translates predicates into SMT formulas over column variables.
+type encoder struct {
+	schema *predicate.Schema
+	// virtual maps the printed form of a non-linear sub-expression to the
+	// virtual column that replaces it (§5.2: multiplication or division of
+	// columns is treated as a single column when those columns appear
+	// nowhere else).
+	virtual map[string]*predicate.ColumnRef
+	// virtualCols records which real columns are consumed by virtual
+	// columns, to reject predicates that also use them directly.
+	virtualCols map[string]bool
+	nextVirtual int
+}
+
+func newEncoder(schema *predicate.Schema) *encoder {
+	return &encoder{
+		schema:      schema,
+		virtual:     map[string]*predicate.ColumnRef{},
+		virtualCols: map[string]bool{},
+	}
+}
+
+// sortFor maps a column type to an SMT sort.
+func sortFor(t predicate.Type) smt.Sort {
+	if t.Integral() {
+		return smt.SortInt
+	}
+	return smt.SortReal
+}
+
+// colVar returns the SMT variable standing for a column's value.
+func (e *encoder) colVar(name string) smt.Var {
+	t := predicate.TypeInteger
+	if e.schema != nil {
+		if c, ok := e.schema.Lookup(name); ok {
+			t = c.Type
+		}
+	}
+	if v, ok := e.virtual[name]; ok {
+		t = v.Type
+	}
+	return smt.Var{Name: name, Sort: sortFor(t)}
+}
+
+// nullVar returns the SMT 0/1 variable standing for "column is NULL".
+func nullVar(name string) smt.Var { return smt.IntVar("$null$" + name) }
+
+// rewriteNonLinear replaces maximal non-linear sub-expressions (column
+// products, divisions with columns in the divisor) by virtual columns. It
+// returns ErrUnsupported when a column consumed by a virtual column is also
+// used elsewhere, since the substitution would then change semantics.
+func (e *encoder) rewriteNonLinear(p predicate.Predicate) (predicate.Predicate, error) {
+	var outsideCols []string
+	var rewriteExpr func(x predicate.Expr) (predicate.Expr, error)
+	rewriteExpr = func(x predicate.Expr) (predicate.Expr, error) {
+		if _, err := predicate.Linearize(x); err == nil {
+			outsideCols = append(outsideCols, predicate.ExprColumns(x, nil)...)
+			return x, nil
+		}
+		switch b := x.(type) {
+		case *predicate.BinaryExpr:
+			// If the node itself is the non-linear culprit, virtualize it
+			// when both operands are linear; otherwise recurse.
+			lLin := exprIsLinear(b.Left)
+			rLin := exprIsLinear(b.Right)
+			if lLin && rLin && (b.Op == predicate.OpMul || b.Op == predicate.OpDiv) {
+				return e.virtualize(b), nil
+			}
+			l, err := rewriteExpr(b.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rewriteExpr(b.Right)
+			if err != nil {
+				return nil, err
+			}
+			nb := &predicate.BinaryExpr{Op: b.Op, Left: l, Right: r}
+			if _, err := predicate.Linearize(nb); err != nil {
+				// Still non-linear after virtualizing children (e.g. a
+				// product of products): virtualize the whole node.
+				return e.virtualize(nb), nil
+			}
+			return nb, nil
+		default:
+			return nil, fmt.Errorf("%w: non-linear expression %q", ErrUnsupported, x.String())
+		}
+	}
+	var rewrite func(p predicate.Predicate) (predicate.Predicate, error)
+	rewrite = func(p predicate.Predicate) (predicate.Predicate, error) {
+		switch x := p.(type) {
+		case *predicate.Compare:
+			l, err := rewriteExpr(x.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rewriteExpr(x.Right)
+			if err != nil {
+				return nil, err
+			}
+			return &predicate.Compare{Op: x.Op, Left: l, Right: r}, nil
+		case *predicate.And:
+			ps := make([]predicate.Predicate, len(x.Preds))
+			for i, q := range x.Preds {
+				var err error
+				if ps[i], err = rewrite(q); err != nil {
+					return nil, err
+				}
+			}
+			return &predicate.And{Preds: ps}, nil
+		case *predicate.Or:
+			ps := make([]predicate.Predicate, len(x.Preds))
+			for i, q := range x.Preds {
+				var err error
+				if ps[i], err = rewrite(q); err != nil {
+					return nil, err
+				}
+			}
+			return &predicate.Or{Preds: ps}, nil
+		case *predicate.Not:
+			inner, err := rewrite(x.P)
+			if err != nil {
+				return nil, err
+			}
+			return &predicate.Not{P: inner}, nil
+		case *predicate.Literal:
+			return x, nil
+		default:
+			panic(fmt.Sprintf("sia: unknown predicate %T", p))
+		}
+	}
+	out, err := rewrite(p)
+	if err != nil {
+		return nil, err
+	}
+	// A column absorbed into a virtual column must not occur outside it.
+	for _, c := range outsideCols {
+		if e.virtualCols[c] {
+			return nil, fmt.Errorf("%w: column %q is used both inside and outside a non-linear term", ErrUnsupported, c)
+		}
+	}
+	return out, nil
+}
+
+func exprIsLinear(x predicate.Expr) bool {
+	_, err := predicate.Linearize(x)
+	return err == nil
+}
+
+// virtualize assigns (or reuses) a virtual column for a non-linear
+// expression. The virtual column is integer-sorted when every constituent
+// column is integral and the operator is multiplication; division and real
+// operands make it real-sorted.
+func (e *encoder) virtualize(x *predicate.BinaryExpr) *predicate.ColumnRef {
+	key := x.String()
+	if v, ok := e.virtual[key]; ok {
+		return v
+	}
+	typ := predicate.TypeInteger
+	if x.Op == predicate.OpDiv {
+		typ = predicate.TypeDouble
+	}
+	for _, c := range predicate.ExprColumns(x, nil) {
+		if e.schema != nil {
+			if col, ok := e.schema.Lookup(c); ok && !col.Type.Integral() {
+				typ = predicate.TypeDouble
+			}
+		}
+		e.virtualCols[c] = true
+	}
+	e.nextVirtual++
+	v := predicate.Col(fmt.Sprintf("$virt%d", e.nextVirtual), typ)
+	e.virtual[v.Name] = v
+	e.virtual[key] = v
+	return v
+}
+
+// linearTerm converts a linear predicate expression to an SMT term.
+func (e *encoder) linearTerm(x predicate.Expr) (*smt.Term, error) {
+	lin, err := predicate.Linearize(x)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	t := smt.NewTerm(lin.Const)
+	for _, col := range lin.Columns() {
+		t.AddVar(e.colVar(col), lin.Coeffs[col])
+	}
+	return t, nil
+}
+
+// compareFormula builds the SMT atom for l op r.
+func (e *encoder) compareFormula(op predicate.CmpOp, l, r predicate.Expr) (smt.Formula, error) {
+	lt, err := e.linearTerm(l)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := e.linearTerm(r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case predicate.CmpLT:
+		return smt.LT(lt, rt), nil
+	case predicate.CmpGT:
+		return smt.GT(lt, rt), nil
+	case predicate.CmpLE:
+		return smt.LE(lt, rt), nil
+	case predicate.CmpGE:
+		return smt.GE(lt, rt), nil
+	case predicate.CmpEQ:
+		return smt.EQ(lt, rt), nil
+	case predicate.CmpNE:
+		return smt.NE(lt, rt), nil
+	default:
+		panic(fmt.Sprintf("sia: unknown comparison %v", op))
+	}
+}
+
+// Encode translates a (pre-rewritten, linear) predicate into an SMT formula
+// under the two-valued encoding used for sample generation: every column is
+// assumed non-NULL, because generated training tuples are always concrete
+// (§5.2: "In other procedures associated with generating training samples,
+// it uses an alternate encoding scheme with only the first variable").
+func (e *encoder) Encode(p predicate.Predicate) (smt.Formula, error) {
+	switch x := p.(type) {
+	case *predicate.Compare:
+		return e.compareFormula(x.Op, x.Left, x.Right)
+	case *predicate.And:
+		fs := make([]smt.Formula, 0, len(x.Preds))
+		for _, q := range x.Preds {
+			f, err := e.Encode(q)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		return smt.NewAnd(fs...), nil
+	case *predicate.Or:
+		fs := make([]smt.Formula, 0, len(x.Preds))
+		for _, q := range x.Preds {
+			f, err := e.Encode(q)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		return smt.NewOr(fs...), nil
+	case *predicate.Not:
+		inner, err := e.Encode(x.P)
+		if err != nil {
+			return nil, err
+		}
+		return smt.NewNot(inner), nil
+	case *predicate.Literal:
+		return smt.Bool(x.B), nil
+	default:
+		panic(fmt.Sprintf("sia: unknown predicate %T", p))
+	}
+}
+
+// EncodeIsTrue translates a predicate into the three-valued-logic encoding
+// of [Zhou et al., PVLDB'19] used by Verify (§5.2): each nullable column c
+// has an auxiliary 0/1 variable null(c), a comparison is TRUE only when all
+// its columns are non-NULL and the relation holds, and AND/OR/NOT follow
+// Kleene semantics. The returned formula holds exactly when the predicate
+// evaluates to TRUE (not FALSE, not NULL).
+func (e *encoder) EncodeIsTrue(p predicate.Predicate) (smt.Formula, error) {
+	return e.encode3VL(p, true)
+}
+
+func (e *encoder) encode3VL(p predicate.Predicate, wantTrue bool) (smt.Formula, error) {
+	switch x := p.(type) {
+	case *predicate.Compare:
+		atom, err := e.compareFormula(x.Op, x.Left, x.Right)
+		if err != nil {
+			return nil, err
+		}
+		if !wantTrue {
+			atom = smt.NewNot(atom)
+		}
+		fs := []smt.Formula{}
+		for _, c := range e.nullableColumns(x) {
+			// null(c) = 0.
+			fs = append(fs, smt.EQ(smt.VarTerm(nullVar(c)), smt.ConstTerm(0)))
+		}
+		fs = append(fs, atom)
+		return smt.NewAnd(fs...), nil
+	case *predicate.And:
+		fs := make([]smt.Formula, 0, len(x.Preds))
+		for _, q := range x.Preds {
+			f, err := e.encode3VL(q, wantTrue)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		if wantTrue {
+			// AND is TRUE iff all conjuncts are TRUE.
+			return smt.NewAnd(fs...), nil
+		}
+		// AND is FALSE iff some conjunct is FALSE.
+		return smt.NewOr(fs...), nil
+	case *predicate.Or:
+		fs := make([]smt.Formula, 0, len(x.Preds))
+		for _, q := range x.Preds {
+			f, err := e.encode3VL(q, wantTrue)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, f)
+		}
+		if wantTrue {
+			return smt.NewOr(fs...), nil
+		}
+		return smt.NewAnd(fs...), nil
+	case *predicate.Not:
+		// NOT p is TRUE iff p is FALSE, and vice versa.
+		return e.encode3VL(x.P, !wantTrue)
+	case *predicate.Literal:
+		return smt.Bool(x.B == wantTrue), nil
+	default:
+		panic(fmt.Sprintf("sia: unknown predicate %T", p))
+	}
+}
+
+// nullableColumns returns the columns of a comparison that may be NULL
+// (columns marked NotNull in the schema are skipped, which keeps the
+// verification formula small for NOT NULL catalogs like TPC-H).
+func (e *encoder) nullableColumns(c *predicate.Compare) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, name := range predicate.ExprColumns(c.Left, predicate.ExprColumns(c.Right, nil)) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if e.schema != nil {
+			if col, ok := e.schema.Lookup(name); ok && col.NotNull {
+				continue
+			}
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// nullDomain constrains every null indicator to {0, 1}.
+func nullDomain(cols []string) smt.Formula {
+	fs := make([]smt.Formula, 0, 2*len(cols))
+	for _, c := range cols {
+		nv := smt.VarTerm(nullVar(c))
+		fs = append(fs, smt.GE(nv.Clone(), smt.ConstTerm(0)), smt.LE(nv.Clone(), smt.ConstTerm(1)))
+	}
+	return smt.NewAnd(fs...)
+}
+
+// ratToValue converts a model value to a predicate Value for the column's
+// type, rounding only when the column is real-sorted (integral sorts always
+// receive integral rationals from the solver).
+func ratToValue(r *big.Rat, t predicate.Type) predicate.Value {
+	if t.Integral() {
+		return predicate.IntVal(r.Num().Int64())
+	}
+	f, _ := r.Float64()
+	return predicate.RealVal(f)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sia/internal/predicate"
+)
+
+func TestTraceHook(t *testing.T) {
+	s := intSchema("a", "b")
+	p := predicate.MustParse("a - b < 20 AND b < 0", s)
+	var calls int
+	var sawValid bool
+	opts := Options{Trace: func(iter int, cand fmt.Stringer, valid bool) {
+		calls++
+		if cand.String() == "" {
+			t.Error("empty candidate in trace")
+		}
+		if valid {
+			sawValid = true
+		}
+	}}
+	res, err := Synthesize(p, []string{"a"}, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predicate == nil {
+		t.Fatalf("synthesis failed: %+v", res)
+	}
+	if calls == 0 {
+		t.Fatal("trace hook never invoked")
+	}
+	if calls != res.Iterations {
+		t.Fatalf("trace calls %d != iterations %d", calls, res.Iterations)
+	}
+	if !sawValid {
+		t.Fatal("no valid candidate ever traced despite a valid result")
+	}
+}
+
+func TestSynthesisTimeout(t *testing.T) {
+	s := intSchema("a1", "a2", "b1")
+	p := predicate.MustParse("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0", s)
+	opts := Options{Timeout: time.Nanosecond}
+	res, err := Synthesize(p, []string{"a1", "a2"}, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GaveUp != ReasonTimeout {
+		t.Fatalf("expected timeout give-up, got %q (optimal=%v)", res.GaveUp, res.Optimal)
+	}
+	if res.Optimal {
+		t.Fatal("a timed-out run cannot be optimal")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIterations != 41 || o.InitialTrue != 10 || o.InitialFalse != 10 || o.SamplesPerIteration != 5 {
+		t.Fatalf("paper defaults wrong: %+v", o)
+	}
+	if o.Solver == nil || o.Solver.Timeout != o.SolverTimeout {
+		t.Fatal("solver timeout not wired")
+	}
+	// Explicit values survive.
+	o2 := Options{MaxIterations: 7, InitialTrue: 3, InitialFalse: 4, SamplesPerIteration: 2}.withDefaults()
+	if o2.MaxIterations != 7 || o2.InitialTrue != 3 || o2.InitialFalse != 4 || o2.SamplesPerIteration != 2 {
+		t.Fatalf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestTimingAccumulation(t *testing.T) {
+	var tt Timing
+	tt.Add(Timing{Generation: time.Second, Learning: 2 * time.Second, Validation: 3 * time.Second})
+	tt.Add(Timing{Generation: time.Second})
+	if tt.Generation != 2*time.Second || tt.Learning != 2*time.Second || tt.Validation != 3*time.Second {
+		t.Fatalf("Add wrong: %+v", tt)
+	}
+	if tt.Total() != 7*time.Second {
+		t.Fatalf("Total = %v", tt.Total())
+	}
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"sia/internal/predicate"
+)
+
+func TestSelectionMatchesEvalDifferential(t *testing.T) {
+	// Property: the vectorized bitmap equals row-at-a-time 3VL evaluation
+	// for random predicates over random data — including predicates that
+	// force the fallback path (OR, NOT, non-linear).
+	r := rand.New(rand.NewSource(99))
+	s := predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "c", Type: predicate.TypeInteger, NotNull: true},
+	)
+	tab := NewTable("t", s)
+	for i := 0; i < 500; i++ {
+		tab.AppendRow(
+			predicate.IntVal(int64(r.Intn(61)-30)),
+			predicate.IntVal(int64(r.Intn(61)-30)),
+			predicate.IntVal(int64(r.Intn(61)-30)),
+		)
+	}
+	exprs := []string{
+		// Vectorized shapes.
+		"a < 5",
+		"a >= -3",
+		"a - b < 7",
+		"b - a <= 0",
+		"2*a - 3*b + c < 10",
+		"a = b",
+		"a <> c",
+		"a - b < 7 AND c > 0 AND a <= 20",
+		"(a + b) / 2 < 4",
+		// Fallback shapes.
+		"a < 5 OR b > 10",
+		"NOT (a - b < 7)",
+		"a * b > 0",
+		"a < 5 AND (b > 0 OR c > 0)",
+	}
+	for _, src := range exprs {
+		p := predicate.MustParse(src, s)
+		sel := Selection(tab, p)
+		for row := 0; row < tab.NumRows(); row++ {
+			want := predicate.Eval(p, tab.Tuple(row)) == predicate.True
+			if sel[row] != want {
+				t.Fatalf("%s row %d (%v): bitmap %v, eval %v", src, row, tab.Tuple(row), sel[row], want)
+			}
+		}
+	}
+}
+
+func TestSelectionNullableFallsBack(t *testing.T) {
+	s := predicate.NewSchema(predicate.Column{Name: "x", Type: predicate.TypeInteger})
+	tab := NewTable("n", s)
+	tab.AppendRow(predicate.IntVal(5))
+	tab.AppendRow(predicate.NullValue())
+	tab.AppendRow(predicate.IntVal(-5))
+	sel := Selection(tab, predicate.MustParse("x > 0", s))
+	if !sel[0] || sel[1] || sel[2] {
+		t.Fatalf("nullable selection wrong: %v", sel)
+	}
+}
+
+func TestSelectionLiteralAndEmpty(t *testing.T) {
+	s := predicate.NewSchema(predicate.Column{Name: "x", Type: predicate.TypeInteger, NotNull: true})
+	tab := NewTable("t", s)
+	for i := int64(0); i < 10; i++ {
+		tab.AppendRow(predicate.IntVal(i))
+	}
+	for _, ok := range Selection(tab, predicate.TruePred) {
+		if !ok {
+			t.Fatal("TRUE literal must select everything")
+		}
+	}
+	for _, ok := range Selection(tab, predicate.FalsePred) {
+		if ok {
+			t.Fatal("FALSE literal must select nothing")
+		}
+	}
+	empty := NewTable("e", s)
+	if got := Selection(empty, predicate.TruePred); len(got) != 0 {
+		t.Fatalf("empty table selection length %d", len(got))
+	}
+}
+
+func BenchmarkSelectionVectorized(b *testing.B) {
+	s := predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeInteger, NotNull: true},
+	)
+	tab := NewTable("t", s)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		tab.AppendRow(predicate.IntVal(int64(r.Intn(1000))), predicate.IntVal(int64(r.Intn(1000))))
+	}
+	p := predicate.MustParse("a - b < 100 AND a < 700", s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Selection(tab, p)
+	}
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+
+	"sia/internal/predicate"
+)
+
+// ColumnStats is an equi-width histogram over an integral column, the
+// classic single-column statistic a cost-based optimizer keeps. The plan
+// package uses it to sharpen selectivity estimates beyond the System-R
+// constants; Table 4's analysis (selectivity decides whether a synthesized
+// predicate pays off) is exactly the decision these statistics inform.
+type ColumnStats struct {
+	Column   string
+	Min, Max int64
+	Rows     int
+	NullRows int
+	Buckets  []int
+}
+
+// BuildStats scans one integral column into an equi-width histogram with
+// the given bucket count.
+func BuildStats(t *Table, col string, buckets int) (*ColumnStats, error) {
+	c, ok := t.schema.Lookup(col)
+	if !ok || !c.Type.Integral() {
+		return nil, fmt.Errorf("engine: stats need an integral column, got %q", col)
+	}
+	if buckets <= 0 {
+		buckets = 32
+	}
+	cd := t.cols[col]
+	s := &ColumnStats{Column: col, Rows: t.nRows}
+	first := true
+	for row := 0; row < t.nRows; row++ {
+		if cd.nulls != nil && cd.nulls[row] {
+			s.NullRows++
+			continue
+		}
+		v := cd.ints[row]
+		if first {
+			s.Min, s.Max = v, v
+			first = false
+			continue
+		}
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	if first {
+		// All NULL (or empty): a single empty bucket.
+		s.Buckets = make([]int, 1)
+		return s, nil
+	}
+	s.Buckets = make([]int, buckets)
+	span := s.Max - s.Min + 1
+	for row := 0; row < t.nRows; row++ {
+		if cd.nulls != nil && cd.nulls[row] {
+			continue
+		}
+		v := cd.ints[row]
+		idx := int(int64(buckets) * (v - s.Min) / span)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		s.Buckets[idx]++
+	}
+	return s, nil
+}
+
+// bucketWidth returns the (rational) width of each bucket.
+func (s *ColumnStats) bucketWidth() float64 {
+	return float64(s.Max-s.Min+1) / float64(len(s.Buckets))
+}
+
+// SelectivityLE estimates P(col <= v) among non-NULL rows, interpolating
+// linearly within the boundary bucket.
+func (s *ColumnStats) SelectivityLE(v int64) float64 {
+	nonNull := s.Rows - s.NullRows
+	if nonNull == 0 {
+		return 0
+	}
+	if v < s.Min {
+		return 0
+	}
+	if v >= s.Max {
+		return 1
+	}
+	w := s.bucketWidth()
+	pos := float64(v-s.Min+1) / w
+	full := int(pos)
+	frac := pos - float64(full)
+	count := 0.0
+	for i := 0; i < full && i < len(s.Buckets); i++ {
+		count += float64(s.Buckets[i])
+	}
+	if full < len(s.Buckets) {
+		count += frac * float64(s.Buckets[full])
+	}
+	return count / float64(nonNull)
+}
+
+// SelectivityRange estimates P(lo <= col <= hi) among non-NULL rows.
+func (s *ColumnStats) SelectivityRange(lo, hi int64) float64 {
+	if hi < lo {
+		return 0
+	}
+	sel := s.SelectivityLE(hi) - s.SelectivityLE(lo-1)
+	if sel < 0 {
+		return 0
+	}
+	return sel
+}
+
+// EstimateCompare estimates the selectivity of a single-column comparison
+// `col op v` using the histogram. Returns ok=false when the comparison is
+// about a different column.
+func (s *ColumnStats) EstimateCompare(op predicate.CmpOp, col string, v int64) (float64, bool) {
+	if col != s.Column {
+		return 0, false
+	}
+	switch op {
+	case predicate.CmpLE:
+		return s.SelectivityLE(v), true
+	case predicate.CmpLT:
+		return s.SelectivityLE(v - 1), true
+	case predicate.CmpGE:
+		return 1 - s.SelectivityLE(v-1), true
+	case predicate.CmpGT:
+		return 1 - s.SelectivityLE(v), true
+	case predicate.CmpEQ:
+		return s.SelectivityRange(v, v), true
+	case predicate.CmpNE:
+		return 1 - s.SelectivityRange(v, v), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sia/internal/predicate"
+)
+
+func statsTable(t *testing.T, vals []int64) *Table {
+	t.Helper()
+	s := predicate.NewSchema(predicate.Column{Name: "v", Type: predicate.TypeInteger, NotNull: true})
+	tab := NewTable("t", s)
+	for _, v := range vals {
+		tab.AppendRow(predicate.IntVal(v))
+	}
+	return tab
+}
+
+func TestBuildStatsBasics(t *testing.T) {
+	tab := statsTable(t, []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	st, err := BuildStats(tab, "v", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Min != 1 || st.Max != 10 || st.Rows != 10 {
+		t.Fatalf("bounds wrong: %+v", st)
+	}
+	total := 0
+	for _, b := range st.Buckets {
+		total += b
+	}
+	if total != 10 {
+		t.Fatalf("buckets lose rows: %d", total)
+	}
+	if got := st.SelectivityLE(10); got != 1 {
+		t.Fatalf("P(v<=max) = %f", got)
+	}
+	if got := st.SelectivityLE(0); got != 0 {
+		t.Fatalf("P(v<=min-1) = %f", got)
+	}
+	if got := st.SelectivityLE(5); math.Abs(got-0.5) > 0.11 {
+		t.Fatalf("P(v<=5) = %f, want ~0.5", got)
+	}
+}
+
+func TestStatsAccuracyOnUniformData(t *testing.T) {
+	// Property: on uniform data the histogram estimate tracks the true
+	// selectivity within a bucket's width.
+	r := rand.New(rand.NewSource(7))
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		vals = append(vals, int64(r.Intn(1000)))
+	}
+	tab := statsTable(t, vals)
+	st, err := BuildStats(tab, "v", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{100, 250, 500, 900} {
+		truth := 0
+		for _, x := range vals {
+			if x <= v {
+				truth++
+			}
+		}
+		trueSel := float64(truth) / float64(len(vals))
+		est := st.SelectivityLE(v)
+		if math.Abs(est-trueSel) > 0.03 {
+			t.Fatalf("P(v<=%d): est %f vs true %f", v, est, trueSel)
+		}
+	}
+}
+
+func TestStatsEstimateCompare(t *testing.T) {
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i)
+	}
+	tab := statsTable(t, vals)
+	st, err := BuildStats(tab, "v", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		op   predicate.CmpOp
+		v    int64
+		want float64
+	}{
+		{predicate.CmpLT, 500, 0.5},
+		{predicate.CmpLE, 499, 0.5},
+		{predicate.CmpGE, 500, 0.5},
+		{predicate.CmpGT, 899, 0.1},
+	}
+	for _, c := range cases {
+		got, ok := st.EstimateCompare(c.op, "v", c.v)
+		if !ok {
+			t.Fatalf("estimate for own column refused")
+		}
+		if math.Abs(got-c.want) > 0.03 {
+			t.Errorf("op %v %d: est %f, want ~%f", c.op, c.v, got, c.want)
+		}
+	}
+	if _, ok := st.EstimateCompare(predicate.CmpLT, "other", 1); ok {
+		t.Fatal("estimate for a different column must refuse")
+	}
+	eq, _ := st.EstimateCompare(predicate.CmpEQ, "v", 500)
+	ne, _ := st.EstimateCompare(predicate.CmpNE, "v", 500)
+	if math.Abs(eq+ne-1) > 1e-9 {
+		t.Fatalf("EQ + NE should sum to 1: %f + %f", eq, ne)
+	}
+}
+
+func TestStatsNullsAndEmpty(t *testing.T) {
+	s := predicate.NewSchema(predicate.Column{Name: "x", Type: predicate.TypeInteger})
+	tab := NewTable("n", s)
+	tab.AppendRow(predicate.IntVal(5))
+	tab.AppendRow(predicate.NullValue())
+	st, err := BuildStats(tab, "x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NullRows != 1 {
+		t.Fatalf("null count %d", st.NullRows)
+	}
+	if got := st.SelectivityLE(5); got != 1 {
+		t.Fatalf("single-value selectivity = %f", got)
+	}
+	empty := NewTable("e", s)
+	st, err = BuildStats(empty, "x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.SelectivityLE(100); got != 0 {
+		t.Fatalf("empty-table selectivity = %f", got)
+	}
+	// Non-integral column refuses.
+	ds := predicate.NewSchema(predicate.Column{Name: "d", Type: predicate.TypeDouble, NotNull: true})
+	dt := NewTable("d", ds)
+	if _, err := BuildStats(dt, "d", 4); err == nil {
+		t.Fatal("double column should refuse histogram build")
+	}
+}

@@ -1,0 +1,108 @@
+// Package engine is the in-memory columnar execution engine Sia's
+// evaluation runs on. The paper measures query runtimes on PostgreSQL over
+// TPC-H data; this engine is the reproduction's substrate: it executes the
+// same logical plans (scan, filter, hash join, aggregation) over columnar
+// tables, so the *relative* cost of original vs rewritten plans — which is
+// what Fig. 9 and Table 4 report — is preserved.
+package engine
+
+import (
+	"fmt"
+
+	"sia/internal/predicate"
+)
+
+// Table is a named columnar table.
+type Table struct {
+	Name   string
+	schema *predicate.Schema
+	nRows  int
+	cols   map[string]*colData
+	order  []string
+}
+
+type colData struct {
+	typ   predicate.Type
+	ints  []int64
+	reals []float64
+	nulls []bool // nil when the column is NOT NULL
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *predicate.Schema) *Table {
+	t := &Table{Name: name, schema: schema, cols: map[string]*colData{}}
+	for _, c := range schema.Columns() {
+		cd := &colData{typ: c.Type}
+		if !c.NotNull {
+			cd.nulls = []bool{}
+		}
+		t.cols[c.Name] = cd
+		t.order = append(t.order, c.Name)
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *predicate.Schema { return t.schema }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.nRows }
+
+// AppendRow appends one row; vals must follow schema column order.
+func (t *Table) AppendRow(vals ...predicate.Value) {
+	if len(vals) != len(t.order) {
+		panic(fmt.Sprintf("engine: row width %d != schema width %d", len(vals), len(t.order)))
+	}
+	for i, name := range t.order {
+		cd := t.cols[name]
+		if vals[i].Null {
+			if cd.nulls == nil {
+				panic(fmt.Sprintf("engine: NULL in NOT NULL column %s.%s", t.Name, name))
+			}
+		}
+		if cd.nulls != nil {
+			cd.nulls = append(cd.nulls, vals[i].Null)
+		}
+		if cd.typ.Integral() {
+			cd.ints = append(cd.ints, vals[i].Int)
+		} else {
+			cd.reals = append(cd.reals, vals[i].Real)
+		}
+	}
+	t.nRows++
+}
+
+// Value returns the value at (row, col).
+func (t *Table) Value(row int, col string) predicate.Value {
+	cd, ok := t.cols[col]
+	if !ok {
+		panic(fmt.Sprintf("engine: unknown column %s.%s", t.Name, col))
+	}
+	if cd.nulls != nil && cd.nulls[row] {
+		return predicate.NullValue()
+	}
+	if cd.typ.Integral() {
+		return predicate.IntVal(cd.ints[row])
+	}
+	return predicate.RealVal(cd.reals[row])
+}
+
+// Ints exposes the raw int64 column for integral columns (used by compiled
+// filters and hash joins). The caller must not mutate the slice.
+func (t *Table) Ints(col string) []int64 {
+	cd := t.cols[col]
+	if cd == nil || !cd.typ.Integral() {
+		panic(fmt.Sprintf("engine: %s.%s is not an integral column", t.Name, col))
+	}
+	return cd.ints
+}
+
+// Tuple materializes one row as a predicate tuple (slow path, used by tests
+// and result inspection).
+func (t *Table) Tuple(row int) predicate.Tuple {
+	out := predicate.Tuple{}
+	for _, name := range t.order {
+		out[name] = t.Value(row, name)
+	}
+	return out
+}

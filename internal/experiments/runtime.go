@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sia/internal/core"
+	"sia/internal/engine"
+	"sia/internal/plan"
+	"sia/internal/predicate"
+	"sia/internal/sql"
+	"sia/internal/tpch"
+	"sia/internal/workload"
+)
+
+// RuntimeRecord is one query's runtime comparison at one scale factor
+// (a point in Fig. 9's scatter plots).
+type RuntimeRecord struct {
+	QueryID     int
+	ScaleFactor float64
+	// Rewritten reports whether Sia produced a valid lineitem-side
+	// predicate for this query (the paper's "114 of 200").
+	Rewritten bool
+	// Synthesized is the predicate pushed below the join (nil if none).
+	Synthesized predicate.Predicate
+	// Original and RewrittenTime are the measured execution times.
+	Original, RewrittenTime time.Duration
+	// Selectivity of the synthesized predicate on lineitem (Table 4).
+	Selectivity float64
+	// Rows returned (identical for both plans — checked).
+	OutputRows int
+}
+
+// Speedup returns original/rewritten (>1 means the rewrite won).
+func (r RuntimeRecord) Speedup() float64 {
+	if r.RewrittenTime == 0 {
+		return 1
+	}
+	return float64(r.Original) / float64(r.RewrittenTime)
+}
+
+// Fig9 runs the end-to-end runtime experiment: for every benchmark query,
+// synthesize lineitem-side predicates, rewrite, and execute both plans on
+// the engine at each scale factor.
+func Fig9(cfg Config) ([]RuntimeRecord, error) {
+	cfg = cfg.withDefaults()
+	queries := workload.Generate(workload.Config{N: cfg.Queries, Seed: cfg.Seed})
+
+	// Synthesis is data-independent: do it once per query.
+	type rewriteInfo struct {
+		pred predicate.Predicate // synthesized lineitem predicate, or nil
+	}
+	schema := tpch.JoinSchema()
+	rewrites := make([]rewriteInfo, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, q := range queries {
+		cols := lineitemCols(q.Pred)
+		if len(cols) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, q workload.Query, cols []string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opts := core.PresetSIA()
+			opts.MaxIterations = cfg.MaxIterations
+			res, err := core.Synthesize(q.Pred, cols, schema, opts)
+			if err != nil {
+				return
+			}
+			if res.Predicate != nil && res.Valid {
+				rewrites[i] = rewriteInfo{pred: res.Predicate}
+			}
+		}(i, q, cols)
+	}
+	wg.Wait()
+
+	var out []RuntimeRecord
+	for _, sf := range cfg.ScaleFactors {
+		orders, lineitem := tpch.Generate(tpch.Config{ScaleFactor: sf})
+		cat := plan.NewCatalog()
+		cat.Add(orders)
+		cat.Add(lineitem)
+		for i, q := range queries {
+			rec := RuntimeRecord{QueryID: q.ID, ScaleFactor: sf}
+			parsed, err := sql.Parse(q.SQL(), cat)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: parse query %d: %w", q.ID, err)
+			}
+			node, err := parsed.Plan(cat)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: plan query %d: %w", q.ID, err)
+			}
+			// Original: plain pushdown only (which moves nothing to
+			// lineitem, by the workload's construction).
+			origPlan := plan.PushDownFilters(node)
+			origTable, origStats, err := executeBest(origPlan, cat, 3)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: execute query %d: %w", q.ID, err)
+			}
+			rec.Original = origStats.Elapsed
+			rec.OutputRows = origTable.NumRows()
+
+			if rw := rewrites[i]; rw.pred != nil {
+				rec.Rewritten = true
+				rec.Synthesized = rw.pred
+				rec.Selectivity = selectivity(lineitem, rw.pred)
+				rwNode := &plan.Filter{Pred: predicate.NewAnd(parsed.Where, rw.pred), Input: join(node)}
+				rwPlan := plan.PushDownFilters(rwNode)
+				rwTable, rwStats, err := executeBest(rwPlan, cat, 3)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: execute rewritten %d: %w", q.ID, err)
+				}
+				if rwTable.NumRows() != origTable.NumRows() {
+					return nil, fmt.Errorf("experiments: query %d rewrite changed results: %d vs %d rows",
+						q.ID, rwTable.NumRows(), origTable.NumRows())
+				}
+				rec.RewrittenTime = rwStats.Elapsed
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// executeBest runs a plan repeatedly and returns the fastest run (the
+// stable estimate of the plan's cost) plus the result table for the
+// equivalence check.
+func executeBest(n plan.Node, cat *plan.Catalog, runs int) (*engine.Table, *plan.ExecStats, error) {
+	var bestTable *engine.Table
+	var bestStats *plan.ExecStats
+	for i := 0; i < runs; i++ {
+		table, stats, err := plan.Execute(n, cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		if bestStats == nil || stats.Elapsed < bestStats.Elapsed {
+			bestTable, bestStats = table, stats
+		}
+	}
+	return bestTable, bestStats, nil
+}
+
+// join unwraps a Filter(Join) plan to its join (the benchmark queries all
+// have this shape).
+func join(n plan.Node) plan.Node {
+	if f, ok := n.(*plan.Filter); ok {
+		return f.Input
+	}
+	return n
+}
+
+// lineitemCols returns the lineitem date columns a predicate uses.
+func lineitemCols(p predicate.Predicate) []string {
+	var out []string
+	used := map[string]bool{}
+	for _, c := range predicate.Columns(p) {
+		used[c] = true
+	}
+	for _, c := range workload.LineitemDateCols {
+		if used[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// selectivity measures the fraction of lineitem rows the predicate keeps.
+func selectivity(lineitem *engine.Table, p predicate.Predicate) float64 {
+	if lineitem.NumRows() == 0 {
+		return 1
+	}
+	kept := engine.Filter(lineitem, p)
+	return float64(kept.NumRows()) / float64(lineitem.NumRows())
+}
+
+// Fig9Summary aggregates a scale factor's records into the counts the
+// paper reports alongside Fig. 9 and in Table 4.
+type Fig9Summary struct {
+	ScaleFactor  float64
+	Rewritten    int
+	Faster       int
+	Faster2x     int
+	Slower       int
+	Slower2x     int
+	AvgSelFaster float64
+	AvgSelFast2x float64
+	AvgSelSlower float64
+	AvgSelSlow2x float64
+}
+
+// Summarize computes per-scale-factor aggregates (Table 4's rows).
+func Summarize(records []RuntimeRecord) []Fig9Summary {
+	bySF := map[float64]*Fig9Summary{}
+	type selAcc struct{ faster, fast2x, slower, slow2x []float64 }
+	sels := map[float64]*selAcc{}
+	var order []float64
+	for _, r := range records {
+		if !r.Rewritten {
+			continue
+		}
+		s, ok := bySF[r.ScaleFactor]
+		if !ok {
+			s = &Fig9Summary{ScaleFactor: r.ScaleFactor}
+			bySF[r.ScaleFactor] = s
+			sels[r.ScaleFactor] = &selAcc{}
+			order = append(order, r.ScaleFactor)
+		}
+		s.Rewritten++
+		sp := r.Speedup()
+		a := sels[r.ScaleFactor]
+		if sp >= 1 {
+			s.Faster++
+			a.faster = append(a.faster, r.Selectivity)
+			if sp >= 2 {
+				s.Faster2x++
+				a.fast2x = append(a.fast2x, r.Selectivity)
+			}
+		} else {
+			s.Slower++
+			a.slower = append(a.slower, r.Selectivity)
+			if sp <= 0.5 {
+				s.Slower2x++
+				a.slow2x = append(a.slow2x, r.Selectivity)
+			}
+		}
+	}
+	var out []Fig9Summary
+	for _, sf := range order {
+		s := bySF[sf]
+		a := sels[sf]
+		s.AvgSelFaster = mean(a.faster)
+		s.AvgSelFast2x = mean(a.fast2x)
+		s.AvgSelSlower = mean(a.slower)
+		s.AvgSelSlow2x = mean(a.slow2x)
+		out = append(out, *s)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MotivatingResult is the §2 experiment: Q1 vs Q2 on TPC-H.
+type MotivatingResult struct {
+	ScaleFactor        float64
+	Q1Time, Q2Time     time.Duration
+	Q1JoinIn, Q2JoinIn int
+	OutputRows         int
+	Speedup            float64
+}
+
+// Motivating reproduces the §2 measurement: the hand-rewritten Q2 (with
+// the three inferred lineitem predicates) against the original Q1.
+func Motivating(sf float64) (*MotivatingResult, error) {
+	orders, lineitem := tpch.Generate(tpch.Config{ScaleFactor: sf})
+	cat := plan.NewCatalog()
+	cat.Add(orders)
+	cat.Add(lineitem)
+	q1 := `SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey
+		AND l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'
+		AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10`
+	q2 := q1 + ` AND l_shipdate < DATE '1993-06-20' AND l_commitdate < DATE '1993-07-18'
+		AND l_commitdate - l_shipdate < 29`
+	run := func(stmt string) (time.Duration, int, int, error) {
+		parsed, err := sql.Parse(stmt, cat)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		node, err := parsed.Plan(cat)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		table, stats, err := executeBest(plan.PushDownFilters(node), cat, 3)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return stats.Elapsed, stats.JoinInputRows, table.NumRows(), nil
+	}
+	t1, j1, rows1, err := run(q1)
+	if err != nil {
+		return nil, err
+	}
+	t2, j2, rows2, err := run(q2)
+	if err != nil {
+		return nil, err
+	}
+	if rows1 != rows2 {
+		return nil, fmt.Errorf("experiments: Q1 and Q2 disagree: %d vs %d rows", rows1, rows2)
+	}
+	return &MotivatingResult{
+		ScaleFactor: sf,
+		Q1Time:      t1, Q2Time: t2,
+		Q1JoinIn: j1, Q2JoinIn: j2,
+		OutputRows: rows1,
+		Speedup:    float64(t1) / float64(t2),
+	}, nil
+}

@@ -1,0 +1,84 @@
+package maxcompute
+
+import "testing"
+
+func TestSimulateFunnel(t *testing.T) {
+	qs, err := Simulate(Config{N: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 400 {
+		t.Fatalf("population = %d", len(qs))
+	}
+	total := len(qs)
+	prospective := Count(qs, ClassProspective)
+	relevant := Count(qs, ClassRelevant)
+	if prospective == 0 || relevant == 0 {
+		t.Fatalf("degenerate funnel: %d prospective, %d relevant", prospective, relevant)
+	}
+	// The paper's funnel: relevant ⊂ prospective ⊂ population.
+	if relevant > prospective || prospective > total {
+		t.Fatalf("funnel inverted: %d/%d/%d", relevant, prospective, total)
+	}
+	// The Sia-fragment shapes must classify as relevant, the non-linear
+	// ones must not: relevant should be a strict subset.
+	if relevant == prospective {
+		t.Fatal("non-linear prospective queries should not be symbolically relevant")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(Config{N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(Config{N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].ExecSeconds != b[i].ExecSeconds {
+			t.Fatalf("simulation is not deterministic at %d", i)
+		}
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	qs, err := Simulate(Config{N: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Histogram{
+		HistExec(qs, ClassProspective),
+		HistCPU(qs, ClassProspective),
+		HistMemory(qs, ClassProspective),
+	} {
+		if len(h.Labels) != len(h.Counts) {
+			t.Fatalf("ragged histogram: %+v", h)
+		}
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != Count(qs, ClassProspective) {
+			t.Fatalf("histogram loses queries: %d != %d", sum, Count(qs, ClassProspective))
+		}
+	}
+}
+
+func TestFractionOver(t *testing.T) {
+	qs := []SimQuery{
+		{Class: ClassProspective, ExecSeconds: 5},
+		{Class: ClassProspective, ExecSeconds: 50},
+		{Class: ClassRelevant, ExecSeconds: 500},
+		{Class: ClassOther, ExecSeconds: 5000},
+	}
+	// Prospective includes relevant: 2 of 3 exceed 10s.
+	got := FractionOver(qs, ClassProspective, 10)
+	if got < 0.66 || got > 0.67 {
+		t.Fatalf("FractionOver = %f", got)
+	}
+	if FractionOver(nil, ClassProspective, 10) != 0 {
+		t.Fatal("empty population should yield 0")
+	}
+}

@@ -1,0 +1,171 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sia/internal/engine"
+	"sia/internal/predicate"
+	"sia/internal/tpch"
+)
+
+func TestEstimateSelectivity(t *testing.T) {
+	s := predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeInteger, NotNull: true},
+	)
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"a < 5", 1.0 / 3},
+		{"a = 5", 1.0 / 10},
+		{"a <> 5", 9.0 / 10},
+		{"a < 5 AND b < 5", 1.0 / 9},
+		{"a < 5 OR b < 5", 1.0/3 + 1.0/3 - 1.0/9},
+		{"NOT a < 5", 2.0 / 3},
+		{"TRUE", 1},
+		{"FALSE", 0},
+	}
+	for _, c := range cases {
+		got := EstimateSelectivity(predicate.MustParse(c.src, s))
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("EstimateSelectivity(%q) = %f, want %f", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEstimateRows(t *testing.T) {
+	cat := smallCatalog(t)
+	lineitem, _ := cat.Table("lineitem")
+	orders, _ := cat.Table("orders")
+
+	li, err := NewScan(cat, "lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := EstimateRows(li, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != float64(lineitem.NumRows()) {
+		t.Fatalf("scan estimate %f != %d", rows, lineitem.NumRows())
+	}
+
+	// A filter scales by its selectivity estimate.
+	f := &Filter{Pred: predicate.MustParse("l_quantity < 10", tpch.LineitemSchema()), Input: li}
+	rows, err = EstimateRows(f, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(lineitem.NumRows()) / 3
+	if math.Abs(rows-want) > 1e-9 {
+		t.Fatalf("filter estimate %f, want %f", rows, want)
+	}
+
+	// A key join with an unfiltered dimension keeps the fact cardinality;
+	// filtering the dimension scales the join output proportionally.
+	od, _ := NewScan(cat, "orders")
+	join := &Join{Left: li, Right: od, LeftKey: "l_orderkey", RightKey: "o_orderkey"}
+	rows, err = EstimateRows(join, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rows-float64(lineitem.NumRows())) > 1e-9 {
+		t.Fatalf("unfiltered join estimate %f, want %d", rows, lineitem.NumRows())
+	}
+	filtered := &Join{
+		Left:    li,
+		Right:   &Filter{Pred: predicate.MustParse("o_orderdate < DATE '1993-01-01'", tpch.OrdersSchema()), Input: od},
+		LeftKey: "l_orderkey", RightKey: "o_orderkey",
+	}
+	rows, err = EstimateRows(filtered, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = float64(lineitem.NumRows()) / 3
+	if math.Abs(rows-want) > 1e-9 {
+		t.Fatalf("filtered join estimate %f, want %f", rows, want)
+	}
+	_ = orders
+}
+
+func TestExplainEstimate(t *testing.T) {
+	cat := smallCatalog(t)
+	p := joinQueryPlan(t, cat, "o_orderdate < DATE '1993-06-01'")
+	out, err := ExplainEstimate(PushDownFilters(p), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "est.") || !strings.Contains(out, "HashJoin") {
+		t.Fatalf("missing annotations:\n%s", out)
+	}
+}
+
+func TestEstimateAggregate(t *testing.T) {
+	cat := smallCatalog(t)
+	li, _ := NewScan(cat, "lineitem")
+	global := &Aggregate{Input: li}
+	rows, err := EstimateRows(global, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 {
+		t.Fatalf("global aggregate estimate %f", rows)
+	}
+	grouped := &Aggregate{GroupBy: []string{"l_orderkey"}, Input: li}
+	rows, err = EstimateRows(grouped, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineitem, _ := cat.Table("lineitem")
+	if rows < 2 || rows > float64(lineitem.NumRows()) {
+		t.Fatalf("grouped aggregate estimate %f out of range", rows)
+	}
+}
+
+func TestEstimateSelectivityWithStats(t *testing.T) {
+	cat := smallCatalog(t)
+	lineitem, _ := cat.Table("lineitem")
+	st, err := engine.BuildStats(lineitem, "l_quantity", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := map[string]*engine.ColumnStats{"l_quantity": st}
+	s := tpch.LineitemSchema()
+	// l_quantity is uniform on [1, 50]: the histogram estimate for <= 25
+	// should be near 0.5, far better than the 1/3 constant.
+	p := predicate.MustParse("l_quantity <= 25", s)
+	got := EstimateSelectivityWithStats(p, stats)
+	if math.Abs(got-0.5) > 0.06 {
+		t.Fatalf("histogram estimate %f, want ~0.5", got)
+	}
+	// Flipped orientation: 25 >= l_quantity is the same predicate.
+	flipped := MustCompare(t, "25 >= l_quantity", s)
+	if g2 := EstimateSelectivityWithStats(flipped, stats); math.Abs(g2-got) > 1e-9 {
+		t.Fatalf("flipped orientation differs: %f vs %f", g2, got)
+	}
+	// Columns without stats fall back to the constants.
+	q := predicate.MustParse("l_extendedprice < 100", s)
+	if g3 := EstimateSelectivityWithStats(q, stats); g3 != 1.0/3 {
+		t.Fatalf("fallback = %f, want 1/3", g3)
+	}
+	// AND composes.
+	both := predicate.MustParse("l_quantity <= 25 AND l_extendedprice < 100", s)
+	want := got / 3
+	if g4 := EstimateSelectivityWithStats(both, stats); math.Abs(g4-want) > 1e-9 {
+		t.Fatalf("AND composition = %f, want %f", g4, want)
+	}
+}
+
+// MustCompare parses a source string and asserts it is a comparison.
+func MustCompare(t *testing.T, src string, s *predicate.Schema) *predicate.Compare {
+	t.Helper()
+	p := predicate.MustParse(src, s)
+	c, ok := p.(*predicate.Compare)
+	if !ok {
+		t.Fatalf("%q is not a comparison", src)
+	}
+	return c
+}

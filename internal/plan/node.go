@@ -1,0 +1,169 @@
+// Package plan provides the logical query algebra, the rule-driven query
+// rewriter (predicate pushdown below joins and aggregations, constant
+// propagation, the paper's transitive-closure baseline), and the Sia
+// rewrite rule that injects synthesized predicates. The paper delegates
+// this layer to Apache Calcite; it is reimplemented here from scratch.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sia/internal/engine"
+	"sia/internal/predicate"
+)
+
+// Catalog resolves table names to stored tables.
+type Catalog struct {
+	tables map[string]*engine.Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: map[string]*engine.Table{}} }
+
+// Add registers a table under its name.
+func (c *Catalog) Add(t *engine.Table) { c.tables[t.Name] = t }
+
+// Table looks a table up by name.
+func (c *Catalog) Table(name string) (*engine.Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Schema returns the schema of a named table.
+func (c *Catalog) Schema(name string) (*predicate.Schema, error) {
+	t, err := c.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	Schema() *predicate.Schema
+	Children() []Node
+	// withChildren returns a copy with the children replaced (same arity).
+	withChildren(children []Node) Node
+	describe() string
+}
+
+// Scan reads a base table.
+type Scan struct {
+	TableName string
+	schema    *predicate.Schema
+}
+
+// NewScan builds a scan over a cataloged table.
+func NewScan(c *Catalog, table string) (*Scan, error) {
+	s, err := c.Schema(table)
+	if err != nil {
+		return nil, err
+	}
+	return &Scan{TableName: table, schema: s}, nil
+}
+
+func (s *Scan) Schema() *predicate.Schema   { return s.schema }
+func (s *Scan) Children() []Node            { return nil }
+func (s *Scan) withChildren(ch []Node) Node { return s }
+func (s *Scan) describe() string            { return "Scan " + s.TableName }
+
+// Filter keeps rows satisfying Pred.
+type Filter struct {
+	Pred  predicate.Predicate
+	Input Node
+}
+
+func (f *Filter) Schema() *predicate.Schema { return f.Input.Schema() }
+func (f *Filter) Children() []Node          { return []Node{f.Input} }
+func (f *Filter) withChildren(ch []Node) Node {
+	return &Filter{Pred: f.Pred, Input: ch[0]}
+}
+func (f *Filter) describe() string { return "Filter " + f.Pred.String() }
+
+// Join is an inner equi-join on one key pair.
+type Join struct {
+	Left, Right       Node
+	LeftKey, RightKey string
+}
+
+func (j *Join) Schema() *predicate.Schema {
+	return predicate.Merge(j.Left.Schema(), j.Right.Schema())
+}
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+func (j *Join) withChildren(ch []Node) Node {
+	return &Join{Left: ch[0], Right: ch[1], LeftKey: j.LeftKey, RightKey: j.RightKey}
+}
+func (j *Join) describe() string {
+	return fmt.Sprintf("HashJoin %s = %s", j.LeftKey, j.RightKey)
+}
+
+// Project keeps only the named columns.
+type Project struct {
+	Cols  []string
+	Input Node
+}
+
+func (p *Project) Schema() *predicate.Schema {
+	var cols []predicate.Column
+	in := p.Input.Schema()
+	for _, name := range p.Cols {
+		if c, ok := in.Lookup(name); ok {
+			cols = append(cols, c)
+		}
+	}
+	return predicate.NewSchema(cols...)
+}
+func (p *Project) Children() []Node { return []Node{p.Input} }
+func (p *Project) withChildren(ch []Node) Node {
+	return &Project{Cols: p.Cols, Input: ch[0]}
+}
+func (p *Project) describe() string { return "Project " + strings.Join(p.Cols, ", ") }
+
+// Aggregate groups by columns and computes aggregates.
+type Aggregate struct {
+	GroupBy []string
+	Aggs    []engine.AggSpec
+	Input   Node
+}
+
+func (a *Aggregate) Schema() *predicate.Schema {
+	var cols []predicate.Column
+	in := a.Input.Schema()
+	for _, g := range a.GroupBy {
+		if c, ok := in.Lookup(g); ok {
+			cols = append(cols, c)
+		}
+	}
+	for _, spec := range a.Aggs {
+		cols = append(cols, predicate.Column{Name: spec.As, Type: predicate.TypeInteger, NotNull: true})
+	}
+	return predicate.NewSchema(cols...)
+}
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+func (a *Aggregate) withChildren(ch []Node) Node {
+	return &Aggregate{GroupBy: a.GroupBy, Aggs: a.Aggs, Input: ch[0]}
+}
+func (a *Aggregate) describe() string {
+	return "Aggregate group by " + strings.Join(a.GroupBy, ", ")
+}
+
+// Explain renders the plan tree, one operator per line, children indented —
+// the textual analogue of the paper's Fig. 1 plan drawings.
+func Explain(n Node) string {
+	var sb strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.describe())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}

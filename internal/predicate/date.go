@@ -1,0 +1,121 @@
+package predicate
+
+import "fmt"
+
+// Epoch is the origin date for the DATE type: values of TypeDate count days
+// since 1992-01-01, the TPC-H start date. TIMESTAMP values count seconds
+// since midnight of the same day. Converting temporal types to integers this
+// way preserves every arithmetic and inequality relation in a predicate
+// (§5.2 of the paper), which is all the synthesizer needs.
+const Epoch = "1992-01-01"
+
+// epochDays is the civil day number of the Epoch (see civilDays).
+var epochDays = civilDays(1992, 1, 1)
+
+// civilDays converts a proleptic Gregorian calendar date to a serial day
+// number (days since 1970-01-01). The algorithm is Howard Hinnant's
+// days_from_civil, valid for all int32 years.
+func civilDays(y, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	var era int64
+	if yy >= 0 {
+		era = yy / 400
+	} else {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = int64(m) - 3
+	} else {
+		mp = int64(m) + 9
+	}
+	doy := (153*mp+2)/5 + int64(d) - 1     // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468       // shift so 1970-01-01 == 0
+}
+
+// civilFromDays is the inverse of civilDays.
+func civilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	y = int(yy)
+	if m <= 2 {
+		y++
+	}
+	return y, m, d
+}
+
+// DateToDays converts a calendar date to its TypeDate representation
+// (days since Epoch).
+func DateToDays(year, month, day int) int64 {
+	return civilDays(year, month, day) - epochDays
+}
+
+// DaysToDate converts a TypeDate value back to a calendar date.
+func DaysToDate(days int64) (year, month, day int) {
+	return civilFromDays(days + epochDays)
+}
+
+// ParseDate parses an ISO "YYYY-MM-DD" date string into days since Epoch.
+func ParseDate(s string) (int64, error) {
+	var y, m, d int
+	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
+		return 0, fmt.Errorf("predicate: invalid date %q: %v", s, err)
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("predicate: invalid date %q", s)
+	}
+	return DateToDays(y, m, d), nil
+}
+
+// FormatDate renders a TypeDate value as an ISO "YYYY-MM-DD" string.
+func FormatDate(days int64) string {
+	y, m, d := DaysToDate(days)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}
+
+// ParseTimestamp parses "YYYY-MM-DD HH:MM:SS" (seconds optional) into the
+// TypeTimestamp representation: seconds since midnight of the Epoch.
+func ParseTimestamp(s string) (int64, error) {
+	var y, mo, d, h, mi, sec int
+	n, err := fmt.Sscanf(s, "%d-%d-%d %d:%d:%d", &y, &mo, &d, &h, &mi, &sec)
+	if err != nil && n < 5 {
+		return 0, fmt.Errorf("predicate: invalid timestamp %q", s)
+	}
+	if mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 || mi > 59 || sec < 0 || sec > 59 {
+		return 0, fmt.Errorf("predicate: invalid timestamp %q", s)
+	}
+	return DateToDays(y, mo, d)*86400 + int64(h)*3600 + int64(mi)*60 + int64(sec), nil
+}
+
+// FormatTimestamp renders a TypeTimestamp value as "YYYY-MM-DD HH:MM:SS".
+func FormatTimestamp(seconds int64) string {
+	days := seconds / 86400
+	rem := seconds % 86400
+	if rem < 0 {
+		days--
+		rem += 86400
+	}
+	y, m, d := DaysToDate(days)
+	return fmt.Sprintf("%04d-%02d-%02d %02d:%02d:%02d", y, m, d, rem/3600, rem%3600/60, rem%60)
+}

@@ -1,0 +1,90 @@
+package predicate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDateEpoch(t *testing.T) {
+	if d := DateToDays(1992, 1, 1); d != 0 {
+		t.Fatalf("epoch should be day 0, got %d", d)
+	}
+	if d := DateToDays(1992, 1, 2); d != 1 {
+		t.Fatalf("1992-01-02 should be day 1, got %d", d)
+	}
+	if d := DateToDays(1991, 12, 31); d != -1 {
+		t.Fatalf("1991-12-31 should be day -1, got %d", d)
+	}
+}
+
+func TestDateKnownValues(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		days    int64
+	}{
+		{1992, 3, 1, 60},     // 1992 is a leap year: Jan 31 + Feb 29
+		{1993, 1, 1, 366},    // leap year has 366 days
+		{1994, 1, 1, 731},    // 1993 is not a leap year
+		{1998, 12, 31, 2556}, // TPC-H end date
+		{2000, 2, 29, 2981},  // century leap day exists (divisible by 400)
+		{1900, 3, 1, -33543}, // 1900 is not a leap year
+	}
+	for _, c := range cases {
+		if got := DateToDays(c.y, c.m, c.d); got != c.days {
+			t.Errorf("DateToDays(%d-%d-%d) = %d, want %d", c.y, c.m, c.d, got, c.days)
+		}
+		y, m, d := DaysToDate(c.days)
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("DaysToDate(%d) = %d-%d-%d, want %d-%d-%d", c.days, y, m, d, c.y, c.m, c.d)
+		}
+	}
+}
+
+func TestDateRoundTripProperty(t *testing.T) {
+	// Property: DaysToDate is the left inverse of DateToDays on every
+	// serial day within +-3000 years of the epoch.
+	f := func(offset int32) bool {
+		days := int64(offset % 1100000)
+		y, m, d := DaysToDate(days)
+		return DateToDays(y, m, d) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDateMonotonic(t *testing.T) {
+	// Consecutive days differ by exactly one across month and year
+	// boundaries, including leap transitions.
+	prev := DateToDays(1991, 12, 31)
+	for days := int64(-365); days <= 3*366; days++ {
+		y, m, d := DaysToDate(days)
+		cur := DateToDays(y, m, d)
+		if cur != days {
+			t.Fatalf("round trip broke at day %d: got %d", days, cur)
+		}
+		if days > -365 && cur != prev+1 {
+			t.Fatalf("non-consecutive serial at %04d-%02d-%02d", y, m, d)
+		}
+		prev = cur
+	}
+}
+
+func TestParseFormatDate(t *testing.T) {
+	days, err := ParseDate("1993-06-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DateToDays(1993, 6, 1); days != want {
+		t.Fatalf("ParseDate = %d, want %d", days, want)
+	}
+	if s := FormatDate(days); s != "1993-06-01" {
+		t.Fatalf("FormatDate = %q", s)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Fatal("expected error for invalid date")
+	}
+	if _, err := ParseDate("1993-13-01"); err == nil {
+		t.Fatal("expected error for month 13")
+	}
+}

@@ -1,0 +1,193 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ArithOp is a binary arithmetic operator in an expression.
+type ArithOp int
+
+const (
+	// OpAdd is addition.
+	OpAdd ArithOp = iota
+	// OpSub is subtraction.
+	OpSub
+	// OpMul is multiplication.
+	OpMul
+	// OpDiv is division. Division is given exact (rational) semantics
+	// throughout: symbolic reasoning treats a/b as the exact quotient and
+	// evaluation computes it in float64, so the synthesizer and the
+	// executor agree. This matches treating `/` as SQL's numeric division
+	// rather than C-style truncating integer division.
+	OpDiv
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("ArithOp(%d)", int(op))
+	}
+}
+
+// precedence orders arithmetic operators for printing.
+func (op ArithOp) precedence() int {
+	if op == OpMul || op == OpDiv {
+		return 2
+	}
+	return 1
+}
+
+// Expr is an arithmetic expression: a column reference, a constant, or a
+// binary arithmetic combination of expressions (§4.1: E := Column | Const |
+// E OP E).
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef is a reference to a named column.
+type ColumnRef struct {
+	Name string
+	Type Type
+}
+
+func (*ColumnRef) exprNode() {}
+
+func (c *ColumnRef) String() string { return c.Name }
+
+// Const is a literal constant. Type records how the constant was written so
+// printing round-trips (dates print as DATE '...' literals).
+type Const struct {
+	Val  Value
+	Type Type
+}
+
+func (*Const) exprNode() {}
+
+func (c *Const) String() string {
+	if c.Val.Null {
+		return "NULL"
+	}
+	switch c.Type {
+	case TypeDouble:
+		return strconv.FormatFloat(c.Val.Real, 'g', -1, 64)
+	case TypeDate:
+		return "DATE '" + FormatDate(c.Val.Int) + "'"
+	case TypeTimestamp:
+		return "TIMESTAMP '" + FormatTimestamp(c.Val.Int) + "'"
+	default:
+		return strconv.FormatInt(c.Val.Int, 10)
+	}
+}
+
+// IntConst returns an INTEGER constant expression.
+func IntConst(v int64) *Const { return &Const{Val: IntVal(v), Type: TypeInteger} }
+
+// RealConst returns a DOUBLE constant expression.
+func RealConst(v float64) *Const { return &Const{Val: RealVal(v), Type: TypeDouble} }
+
+// DateConst returns a DATE constant expression from days since Epoch.
+func DateConst(days int64) *Const { return &Const{Val: IntVal(days), Type: TypeDate} }
+
+// BinaryExpr applies an arithmetic operator to two sub-expressions.
+type BinaryExpr struct {
+	Op          ArithOp
+	Left, Right Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+func (b *BinaryExpr) String() string {
+	var sb strings.Builder
+	writeOperand(&sb, b.Left, b.Op.precedence(), false)
+	sb.WriteByte(' ')
+	sb.WriteString(b.Op.String())
+	sb.WriteByte(' ')
+	writeOperand(&sb, b.Right, b.Op.precedence(), true)
+	return sb.String()
+}
+
+// writeOperand prints a child expression, parenthesizing when the child
+// binds looser than the parent (or equally, on the right side, since -, /
+// are left-associative).
+func writeOperand(sb *strings.Builder, e Expr, parentPrec int, rightSide bool) {
+	child, ok := e.(*BinaryExpr)
+	if !ok {
+		sb.WriteString(e.String())
+		return
+	}
+	cp := child.Op.precedence()
+	if cp < parentPrec || (cp == parentPrec && rightSide) {
+		sb.WriteByte('(')
+		sb.WriteString(child.String())
+		sb.WriteByte(')')
+		return
+	}
+	sb.WriteString(child.String())
+}
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return &BinaryExpr{Op: OpAdd, Left: l, Right: r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return &BinaryExpr{Op: OpSub, Left: l, Right: r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return &BinaryExpr{Op: OpMul, Left: l, Right: r} }
+
+// Div returns l / r.
+func Div(l, r Expr) Expr { return &BinaryExpr{Op: OpDiv, Left: l, Right: r} }
+
+// Col returns a column reference with the given type.
+func Col(name string, t Type) *ColumnRef { return &ColumnRef{Name: name, Type: t} }
+
+// ExprColumns appends the names of all columns referenced by e to dst,
+// without deduplication.
+func ExprColumns(e Expr, dst []string) []string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		return append(dst, x.Name)
+	case *Const:
+		return dst
+	case *BinaryExpr:
+		return ExprColumns(x.Right, ExprColumns(x.Left, dst))
+	default:
+		panic(fmt.Sprintf("predicate: unknown expression %T", e))
+	}
+}
+
+// ExprEqual reports structural equality of two expressions.
+func ExprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *ColumnRef:
+		y, ok := b.(*ColumnRef)
+		return ok && x.Name == y.Name
+	case *Const:
+		y, ok := b.(*Const)
+		if !ok || x.Val.Null != y.Val.Null {
+			return false
+		}
+		if x.Val.Null {
+			return true
+		}
+		if x.Type == TypeDouble || y.Type == TypeDouble {
+			return x.Type == y.Type && x.Val.Real == y.Val.Real
+		}
+		return x.Val.Int == y.Val.Int
+	case *BinaryExpr:
+		y, ok := b.(*BinaryExpr)
+		return ok && x.Op == y.Op && ExprEqual(x.Left, y.Left) && ExprEqual(x.Right, y.Right)
+	default:
+		panic(fmt.Sprintf("predicate: unknown expression %T", a))
+	}
+}

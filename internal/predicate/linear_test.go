@@ -1,0 +1,165 @@
+package predicate
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearizeBasic(t *testing.T) {
+	s := testSchema()
+	p := MustParse("2*a + 3*b - a < 10", s).(*Compare)
+	lf, err := Linearize(p.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lf.Coeffs["a"].RatString(); got != "1" {
+		t.Fatalf("coeff a = %s, want 1", got)
+	}
+	if got := lf.Coeffs["b"].RatString(); got != "3" {
+		t.Fatalf("coeff b = %s, want 3", got)
+	}
+	if lf.Const.Sign() != 0 {
+		t.Fatalf("const = %s, want 0", lf.Const.RatString())
+	}
+}
+
+func TestLinearizeCancellation(t *testing.T) {
+	a := Col("a", TypeInteger)
+	lf, err := Linearize(Sub(a, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lf.IsConst() || lf.Const.Sign() != 0 {
+		t.Fatalf("a - a should be the zero form, got %s", lf)
+	}
+}
+
+func TestLinearizeDivision(t *testing.T) {
+	a := Col("a", TypeInteger)
+	lf, err := Linearize(Div(Add(a, IntConst(4)), IntConst(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lf.Coeffs["a"].RatString(); got != "1/2" {
+		t.Fatalf("coeff = %s, want 1/2", got)
+	}
+	if got := lf.Const.RatString(); got != "2" {
+		t.Fatalf("const = %s, want 2", got)
+	}
+}
+
+func TestLinearizeNonLinear(t *testing.T) {
+	a, b := Col("a", TypeInteger), Col("b", TypeInteger)
+	for _, e := range []Expr{Mul(a, b), Div(IntConst(1), a), Div(a, b), Mul(Add(a, IntConst(1)), b)} {
+		_, err := Linearize(e)
+		var nle *NonLinearError
+		if !errors.As(err, &nle) {
+			t.Errorf("%s: expected NonLinearError, got %v", e, err)
+		}
+	}
+	// Division by literal zero is an error but not a NonLinearError.
+	_, err := Linearize(Div(a, IntConst(0)))
+	var nle *NonLinearError
+	if err == nil || errors.As(err, &nle) {
+		t.Errorf("div by zero: got %v", err)
+	}
+}
+
+func TestLinearizeMatchesEval(t *testing.T) {
+	// Property: for random linear expressions, evaluating the linear form
+	// agrees with direct AST evaluation.
+	r := rand.New(rand.NewSource(13))
+	cols := []string{"a", "b", "c"}
+	for i := 0; i < 300; i++ {
+		e := Expr(IntConst(int64(r.Intn(9) - 4)))
+		for j := r.Intn(6); j > 0; j-- {
+			term := Expr(Col(cols[r.Intn(3)], TypeInteger))
+			if r.Intn(3) == 0 {
+				term = Mul(IntConst(int64(r.Intn(7)-3)), term)
+			}
+			if r.Intn(2) == 0 {
+				e = Add(e, term)
+			} else {
+				e = Sub(e, term)
+			}
+		}
+		lf, err := Linearize(e)
+		if err != nil {
+			t.Fatalf("linearize %s: %v", e, err)
+		}
+		tu := randomTuple(r, 0)
+		direct := EvalExpr(e, tu)
+		viaForm := new(big.Rat).Set(lf.Const)
+		for col, coeff := range lf.Coeffs {
+			term := new(big.Rat).Mul(coeff, new(big.Rat).SetInt64(tu[col].Int))
+			viaForm.Add(viaForm, term)
+		}
+		if !viaForm.IsInt() || viaForm.Num().Int64() != direct.Int {
+			t.Fatalf("mismatch for %s on %v: form=%s direct=%d", e, tu, viaForm.RatString(), direct.Int)
+		}
+	}
+}
+
+func TestLinearToExprRoundTrip(t *testing.T) {
+	// Property: LinearToExpr(Linearize(e)) has the same value as e up to
+	// the returned positive scale factor.
+	r := rand.New(rand.NewSource(29))
+	s := NewSchema(Column{Name: "a", Type: TypeInteger}, Column{Name: "b", Type: TypeInteger}, Column{Name: "c", Type: TypeInteger})
+	for i := 0; i < 200; i++ {
+		lf := NewLinear()
+		for _, c := range []string{"a", "b", "c"} {
+			if r.Intn(2) == 0 {
+				lf.AddTerm(c, big.NewRat(int64(r.Intn(11)-5), int64(r.Intn(4)+1)))
+			}
+		}
+		lf.Const = big.NewRat(int64(r.Intn(21)-10), int64(r.Intn(3)+1))
+		e, scale := LinearToExpr(lf, s)
+		tu := randomTuple(r, 0)
+		got := EvalExpr(e, tu)
+		want := new(big.Rat).Set(lf.Const)
+		for col, coeff := range lf.Coeffs {
+			want.Add(want, new(big.Rat).Mul(coeff, new(big.Rat).SetInt64(tu[col].Int)))
+		}
+		want.Mul(want, new(big.Rat).SetInt(scale))
+		if !want.IsInt() {
+			t.Fatalf("scale %s did not clear denominators of %s", scale, lf)
+		}
+		if got.Null || got.Int != want.Num().Int64() {
+			t.Fatalf("%s (scale %s) on %v: got %+v, want %s", e, scale, tu, got, want.RatString())
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := testSchema()
+	c, ok := s.Lookup("l_shipdate")
+	if !ok || c.Type != TypeDate {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("lookup of missing column should fail")
+	}
+	if _, err := s.Type("nope"); err == nil {
+		t.Fatal("Type of missing column should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column should panic")
+		}
+	}()
+	NewSchema(Column{Name: "a", Type: TypeInteger}, Column{Name: "a", Type: TypeDouble})
+}
+
+func TestMergeSchemas(t *testing.T) {
+	a := NewSchema(Column{Name: "x", Type: TypeInteger})
+	b := NewSchema(Column{Name: "y", Type: TypeDouble})
+	m := Merge(a, b)
+	if len(m.Columns()) != 2 {
+		t.Fatal("merge lost columns")
+	}
+	if c, _ := m.Lookup("y"); c.Type != TypeDouble {
+		t.Fatal("merge mistyped column")
+	}
+}

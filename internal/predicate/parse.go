@@ -1,0 +1,418 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a SQL boolean expression (the WHERE-clause dialect used by
+// the benchmark: arithmetic comparisons over columns, dates, and intervals,
+// combined with AND/OR/NOT) into a Predicate. Column types are resolved
+// through schema; when schema is nil every column is typed INTEGER.
+//
+// Date literals may be written DATE '1993-06-01' or as a bare quoted string;
+// intervals as INTERVAL '20' DAY (or a bare integer). Both parse to the
+// integer encodings described in the package documentation.
+func Parse(input string, schema *Schema) (Predicate, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, schema: schema}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("predicate: unexpected %q at position %d", p.peek().text, p.peek().pos)
+	}
+	return pred, nil
+}
+
+// MustParse is Parse that panics on error, for tests and static queries.
+func MustParse(input string, schema *Schema) Predicate {
+	p, err := Parse(input, schema)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("predicate: unterminated string at position %d", i)
+			}
+			toks = append(toks, token{tokString, s[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			j := i
+			seenDot := false
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' && !seenDot) {
+				if s[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_' || s[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j], i})
+			i = j
+		default:
+			switch {
+			case strings.HasPrefix(s[i:], "<="), strings.HasPrefix(s[i:], ">="),
+				strings.HasPrefix(s[i:], "<>"), strings.HasPrefix(s[i:], "!="):
+				toks = append(toks, token{tokOp, s[i : i+2], i})
+				i += 2
+			case strings.ContainsRune("<>=+-*/(),", rune(c)):
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("predicate: unexpected character %q at position %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(s)})
+	return toks, nil
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	schema *Schema
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	t := p.peek()
+	if t.kind == tokOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("predicate: expected %q at position %d, found %q", op, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	preds := []Predicate{left}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, r)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return &Or{Preds: preds}, nil
+}
+
+func (p *parser) parseAnd() (Predicate, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	preds := []Predicate{left}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, r)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return &And{Preds: preds}, nil
+}
+
+func (p *parser) parseNot() (Predicate, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{P: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Predicate, error) {
+	if p.acceptKeyword("TRUE") {
+		return TruePred, nil
+	}
+	if p.acceptKeyword("FALSE") {
+		return FalsePred, nil
+	}
+	// A '(' may open either a parenthesized predicate or a parenthesized
+	// arithmetic expression (e.g. "(a + b) < 3"). Try the predicate
+	// reading first and backtrack on failure.
+	if p.peek().kind == tokOp && p.peek().text == "(" {
+		mark := p.save()
+		p.next()
+		if inner, err := p.parseOr(); err == nil {
+			if err := p.expectOp(")"); err == nil {
+				return inner, nil
+			}
+		}
+		p.restore(mark)
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Predicate, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return nil, fmt.Errorf("predicate: expected comparison operator at position %d, found %q", t.pos, t.text)
+	}
+	var op CmpOp
+	switch t.text {
+	case "<":
+		op = CmpLT
+	case ">":
+		op = CmpGT
+	case "<=":
+		op = CmpLE
+	case ">=":
+		op = CmpGE
+	case "=":
+		op = CmpEQ
+	case "<>", "!=":
+		op = CmpNE
+	default:
+		return nil, fmt.Errorf("predicate: expected comparison operator at position %d, found %q", t.pos, t.text)
+	}
+	p.next()
+	right, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Op: op, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = Add(left, r)
+		case p.acceptOp("-"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = Sub(left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = Mul(left, r)
+		case p.acceptOp("/"):
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = Div(left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch {
+	case p.acceptOp("-"):
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := inner.(*Const); ok && !c.Val.Null {
+			neg := *c
+			if c.Type == TypeDouble {
+				neg.Val = RealVal(-c.Val.Real)
+			} else {
+				neg.Val = IntVal(-c.Val.Int)
+			}
+			return &neg, nil
+		}
+		return Sub(IntConst(0), inner), nil
+	case p.acceptOp("("):
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("predicate: bad number %q: %v", t.text, err)
+			}
+			return RealConst(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("predicate: bad number %q: %v", t.text, err)
+		}
+		return IntConst(n), nil
+	case t.kind == tokString:
+		p.next()
+		days, err := ParseDate(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return DateConst(days), nil
+	case t.kind == tokIdent:
+		switch {
+		case strings.EqualFold(t.text, "DATE"):
+			p.next()
+			lit := p.peek()
+			if lit.kind != tokString {
+				return nil, fmt.Errorf("predicate: DATE must be followed by a quoted literal at position %d", lit.pos)
+			}
+			p.next()
+			days, err := ParseDate(lit.text)
+			if err != nil {
+				return nil, err
+			}
+			return DateConst(days), nil
+		case strings.EqualFold(t.text, "TIMESTAMP"):
+			p.next()
+			lit := p.peek()
+			if lit.kind != tokString {
+				return nil, fmt.Errorf("predicate: TIMESTAMP must be followed by a quoted literal at position %d", lit.pos)
+			}
+			p.next()
+			secs, err := ParseTimestamp(lit.text)
+			if err != nil {
+				return nil, err
+			}
+			return &Const{Val: IntVal(secs), Type: TypeTimestamp}, nil
+		case strings.EqualFold(t.text, "INTERVAL"):
+			p.next()
+			lit := p.next()
+			var n int64
+			var err error
+			switch lit.kind {
+			case tokString:
+				n, err = strconv.ParseInt(lit.text, 10, 64)
+			case tokNumber:
+				n, err = strconv.ParseInt(lit.text, 10, 64)
+			default:
+				return nil, fmt.Errorf("predicate: INTERVAL must be followed by a count at position %d", lit.pos)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("predicate: bad interval %q: %v", lit.text, err)
+			}
+			if !p.acceptKeyword("DAY") && !p.acceptKeyword("DAYS") {
+				return nil, fmt.Errorf("predicate: only DAY intervals are supported (position %d)", p.peek().pos)
+			}
+			return IntConst(n), nil
+		case strings.EqualFold(t.text, "NULL"):
+			p.next()
+			return &Const{Val: NullValue(), Type: TypeInteger}, nil
+		default:
+			p.next()
+			typ := TypeInteger
+			if p.schema != nil {
+				tt, err := p.schema.Type(t.text)
+				if err != nil {
+					return nil, err
+				}
+				typ = tt
+			}
+			return Col(t.text, typ), nil
+		}
+	default:
+		return nil, fmt.Errorf("predicate: unexpected %q at position %d", t.text, t.pos)
+	}
+}

@@ -1,0 +1,250 @@
+package predicate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "a", Type: TypeInteger},
+		Column{Name: "b", Type: TypeInteger},
+		Column{Name: "c", Type: TypeInteger},
+		Column{Name: "x", Type: TypeDouble},
+		Column{Name: "l_shipdate", Type: TypeDate},
+		Column{Name: "l_commitdate", Type: TypeDate},
+		Column{Name: "o_orderdate", Type: TypeDate},
+	)
+}
+
+func TestParseSimple(t *testing.T) {
+	s := testSchema()
+	p, err := Parse("a + 10 > b + 20 AND b + 10 > 20", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := p.(*And)
+	if !ok || len(and.Preds) != 2 {
+		t.Fatalf("expected 2-conjunct AND, got %T %s", p, p)
+	}
+	if got := p.String(); got != "a + 10 > b + 20 AND b + 10 > 20" {
+		t.Fatalf("round trip: %q", got)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := testSchema()
+	// AND binds tighter than OR; NOT tighter than AND.
+	p := MustParse("a > 1 OR b > 2 AND c > 3", s)
+	or, ok := p.(*Or)
+	if !ok || len(or.Preds) != 2 {
+		t.Fatalf("OR should be the root: %s", p)
+	}
+	if _, ok := or.Preds[1].(*And); !ok {
+		t.Fatalf("right OR operand should be AND: %s", p)
+	}
+	p = MustParse("NOT a > 1 AND b > 2", s)
+	and, ok := p.(*And)
+	if !ok {
+		t.Fatalf("AND should be the root: %s", p)
+	}
+	if _, ok := and.Preds[0].(*Not); !ok {
+		t.Fatalf("NOT should bind to the first comparison: %s", p)
+	}
+}
+
+func TestParseParenthesizedPredicate(t *testing.T) {
+	s := testSchema()
+	p := MustParse("(a > 1 OR b > 2) AND c > 3", s)
+	and, ok := p.(*And)
+	if !ok || len(and.Preds) != 2 {
+		t.Fatalf("expected AND root, got %s", p)
+	}
+	if _, ok := and.Preds[0].(*Or); !ok {
+		t.Fatalf("expected parenthesized OR child, got %s", p)
+	}
+}
+
+func TestParseParenthesizedExpression(t *testing.T) {
+	s := testSchema()
+	p := MustParse("(a + b) * 2 < 10", s)
+	cmp, ok := p.(*Compare)
+	if !ok {
+		t.Fatalf("expected comparison, got %T", p)
+	}
+	tu := tup(map[string]int64{"a": 1, "b": 2})
+	if Eval(cmp, tu) != True { // (1+2)*2 = 6 < 10
+		t.Fatalf("wrong structure: %s", p)
+	}
+	tu = tup(map[string]int64{"a": 3, "b": 2})
+	if Eval(cmp, tu) != False { // (3+2)*2 = 10
+		t.Fatalf("wrong structure: %s", p)
+	}
+}
+
+func TestParseDatesAndIntervals(t *testing.T) {
+	s := testSchema()
+	p := MustParse("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'", s)
+	ship := DateToDays(1993, 5, 30)
+	order := DateToDays(1993, 5, 20)
+	tu := Tuple{"l_shipdate": IntVal(ship), "o_orderdate": IntVal(order)}
+	if Eval(p, tu) != True {
+		t.Fatalf("date predicate should hold: %s", p)
+	}
+	// Bare quoted strings parse as dates too.
+	q := MustParse("o_orderdate < '1993-06-01'", s)
+	if Eval(q, tu) != True {
+		t.Fatal("bare date literal failed")
+	}
+	// INTERVAL 'n' DAY parses as an integer day count.
+	iv := MustParse("l_shipdate - o_orderdate < INTERVAL '20' DAY", s)
+	if Eval(iv, tu) != True {
+		t.Fatal("interval literal failed")
+	}
+}
+
+func TestParseMotivatingExample(t *testing.T) {
+	// The predicate of Q1 from §2 of the paper.
+	s := testSchema()
+	src := `l_shipdate - o_orderdate < 20
+		AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10
+		AND o_orderdate < DATE '1993-06-01'`
+	p, err := Parse(src, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Conjuncts(p)); got != 3 {
+		t.Fatalf("expected 3 conjuncts, got %d", got)
+	}
+	cols := Columns(p)
+	want := []string{"l_commitdate", "l_shipdate", "o_orderdate"}
+	if strings.Join(cols, ",") != strings.Join(want, ",") {
+		t.Fatalf("Columns = %v, want %v", cols, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := testSchema()
+	bad := []string{
+		"",
+		"a >",
+		"a > 1 AND",
+		"a >> 1",
+		"unknown_col > 1",
+		"a > 'not-a-date'",
+		"(a > 1",
+		"a > 1)",
+		"INTERVAL 'x' DAY > a",
+		"a @ 1",
+		"a > 'abc",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, s); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := testSchema()
+	p := MustParse("a > -5 AND -a < 5", s)
+	if Eval(p, tup(map[string]int64{"a": 0})) != True {
+		t.Fatal("negative literal handling broke")
+	}
+	if Eval(p, tup(map[string]int64{"a": -6})) != False {
+		t.Fatal("negative literal handling broke")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	s := testSchema()
+	p := MustParse("x * 2.5 > 10.0", s)
+	if Eval(p, Tuple{"x": RealVal(4.1)}) != True {
+		t.Fatal("float comparison failed")
+	}
+	if Eval(p, Tuple{"x": RealVal(3.9)}) != False {
+		t.Fatal("float comparison failed")
+	}
+}
+
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	// Property: printing a random predicate and re-parsing it yields a
+	// predicate with identical three-valued semantics on random tuples.
+	r := rand.New(rand.NewSource(42))
+	s := NewSchema(Column{Name: "a", Type: TypeInteger}, Column{Name: "b", Type: TypeInteger}, Column{Name: "c", Type: TypeInteger})
+	for i := 0; i < 400; i++ {
+		p := randomPred(r, 3)
+		back, err := Parse(p.String(), s)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", p.String(), err)
+		}
+		for j := 0; j < 20; j++ {
+			tu := randomTuple(r, 0.15)
+			if Eval(p, tu) != Eval(back, tu) {
+				t.Fatalf("round trip changed semantics: %q vs %q on %v", p, back, tu)
+			}
+		}
+	}
+}
+
+func TestColumnsAndUsesOnly(t *testing.T) {
+	s := testSchema()
+	p := MustParse("a + b > 3 AND c < 2 OR a = 1", s)
+	got := Columns(p)
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("Columns = %v", got)
+	}
+	if !UsesOnly(p, []string{"a", "b", "c", "d"}) {
+		t.Fatal("UsesOnly superset failed")
+	}
+	if UsesOnly(p, []string{"a", "b"}) {
+		t.Fatal("UsesOnly subset should fail")
+	}
+}
+
+func TestConstructorsSimplify(t *testing.T) {
+	a := Cmp(CmpGT, Col("a", TypeInteger), IntConst(0))
+	if NewAnd() != TruePred {
+		t.Fatal("empty AND should be TRUE")
+	}
+	if NewOr() != FalsePred {
+		t.Fatal("empty OR should be FALSE")
+	}
+	if NewAnd(a, FalsePred) != FalsePred {
+		t.Fatal("AND with FALSE should collapse")
+	}
+	if NewOr(a, TruePred) != TruePred {
+		t.Fatal("OR with TRUE should collapse")
+	}
+	if got := NewAnd(a, TruePred); got != a {
+		t.Fatal("AND with TRUE should drop the literal")
+	}
+	if got := NewNot(NewNot(a)); got != a {
+		t.Fatal("double negation should cancel")
+	}
+	nested := NewAnd(a, NewAnd(a, a))
+	if len(nested.(*And).Preds) != 3 {
+		t.Fatal("nested ANDs should flatten")
+	}
+}
+
+func TestStringParens(t *testing.T) {
+	a := Cmp(CmpGT, Col("a", TypeInteger), IntConst(0))
+	b := Cmp(CmpGT, Col("b", TypeInteger), IntConst(0))
+	c := Cmp(CmpGT, Col("c", TypeInteger), IntConst(0))
+	p := NewAnd(NewOr(a, b), c)
+	want := "(a > 0 OR b > 0) AND c > 0"
+	if got := p.String(); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	n := NewNot(NewOr(a, b))
+	if got := n.String(); got != "NOT (a > 0 OR b > 0)" {
+		t.Fatalf("got %q", got)
+	}
+	// Subtraction must parenthesize the right operand.
+	e := Sub(Col("a", TypeInteger), Sub(Col("b", TypeInteger), Col("c", TypeInteger)))
+	if got := e.String(); got != "a - (b - c)" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,359 @@
+package predicate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CmpOp is a comparison operator between two arithmetic expressions.
+type CmpOp int
+
+const (
+	// CmpLT is <.
+	CmpLT CmpOp = iota
+	// CmpGT is >.
+	CmpGT
+	// CmpLE is <=.
+	CmpLE
+	// CmpGE is >=.
+	CmpGE
+	// CmpEQ is =.
+	CmpEQ
+	// CmpNE is <>.
+	CmpNE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLT:
+		return "<"
+	case CmpGT:
+		return ">"
+	case CmpLE:
+		return "<="
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "<>"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Negate returns the comparison with the opposite truth table on non-NULL
+// inputs (e.g. <'s negation is >=).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case CmpLT:
+		return CmpGE
+	case CmpGT:
+		return CmpLE
+	case CmpLE:
+		return CmpGT
+	case CmpGE:
+		return CmpLT
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	default:
+		panic(fmt.Sprintf("predicate: unknown comparison %d", int(op)))
+	}
+}
+
+// Flip returns the comparison with operands swapped (a op b == b op.Flip a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case CmpLT:
+		return CmpGT
+	case CmpGT:
+		return CmpLT
+	case CmpLE:
+		return CmpGE
+	case CmpGE:
+		return CmpLE
+	default:
+		return op
+	}
+}
+
+// Predicate is a boolean combination of comparisons (§4.1:
+// P := E CP E | P L P | NOT P).
+type Predicate interface {
+	fmt.Stringer
+	predNode()
+}
+
+// Compare applies a comparison operator to two arithmetic expressions.
+type Compare struct {
+	Op          CmpOp
+	Left, Right Expr
+}
+
+func (*Compare) predNode() {}
+
+func (c *Compare) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// And is an n-ary conjunction. Its constructor flattens nested conjunctions;
+// an empty And prints and evaluates as TRUE.
+type And struct {
+	Preds []Predicate
+}
+
+func (*And) predNode() {}
+
+func (a *And) String() string { return joinPreds(a.Preds, " AND ", "TRUE", opAnd) }
+
+// Or is an n-ary disjunction. An empty Or prints and evaluates as FALSE.
+type Or struct {
+	Preds []Predicate
+}
+
+func (*Or) predNode() {}
+
+func (o *Or) String() string { return joinPreds(o.Preds, " OR ", "FALSE", opOr) }
+
+// Not negates a predicate.
+type Not struct {
+	P Predicate
+}
+
+func (*Not) predNode() {}
+
+func (n *Not) String() string {
+	if needsParens(n.P, opNot) {
+		return "NOT (" + n.P.String() + ")"
+	}
+	return "NOT " + n.P.String()
+}
+
+// Literal is the constant TRUE or FALSE predicate.
+type Literal struct {
+	B bool
+}
+
+func (*Literal) predNode() {}
+
+func (l *Literal) String() string {
+	if l.B {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// TruePred and FalsePred are the shared literal predicates.
+var (
+	TruePred  = &Literal{B: true}
+	FalsePred = &Literal{B: false}
+)
+
+type logicOp int
+
+const (
+	opOr logicOp = iota
+	opAnd
+	opNot
+)
+
+// needsParens reports whether child must be parenthesized when printed under
+// a parent of the given strength (NOT > AND > OR).
+func needsParens(child Predicate, parent logicOp) bool {
+	switch child.(type) {
+	case *Or:
+		return parent > opOr
+	case *And:
+		return parent > opAnd
+	default:
+		return false
+	}
+}
+
+func joinPreds(ps []Predicate, sep, empty string, self logicOp) string {
+	if len(ps) == 0 {
+		return empty
+	}
+	var sb strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			sb.WriteString(sep)
+		}
+		if needsParens(p, self) {
+			sb.WriteByte('(')
+			sb.WriteString(p.String())
+			sb.WriteByte(')')
+		} else {
+			sb.WriteString(p.String())
+		}
+	}
+	return sb.String()
+}
+
+// NewAnd returns the conjunction of ps, flattening nested Ands, dropping
+// TRUE literals, and short-circuiting on FALSE. It returns TruePred for an
+// empty conjunction and the sole predicate for a singleton.
+func NewAnd(ps ...Predicate) Predicate {
+	var flat []Predicate
+	for _, p := range ps {
+		switch x := p.(type) {
+		case *And:
+			flat = append(flat, x.Preds...)
+		case *Literal:
+			if !x.B {
+				return FalsePred
+			}
+		default:
+			flat = append(flat, p)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return TruePred
+	case 1:
+		return flat[0]
+	}
+	return &And{Preds: flat}
+}
+
+// NewOr returns the disjunction of ps with the dual simplifications of
+// NewAnd.
+func NewOr(ps ...Predicate) Predicate {
+	var flat []Predicate
+	for _, p := range ps {
+		switch x := p.(type) {
+		case *Or:
+			flat = append(flat, x.Preds...)
+		case *Literal:
+			if x.B {
+				return TruePred
+			}
+		default:
+			flat = append(flat, p)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return FalsePred
+	case 1:
+		return flat[0]
+	}
+	return &Or{Preds: flat}
+}
+
+// NewNot returns the negation of p, simplifying literals and double
+// negation.
+func NewNot(p Predicate) Predicate {
+	switch x := p.(type) {
+	case *Literal:
+		if x.B {
+			return FalsePred
+		}
+		return TruePred
+	case *Not:
+		return x.P
+	}
+	return &Not{P: p}
+}
+
+// Cmp returns the comparison l op r.
+func Cmp(op CmpOp, l, r Expr) *Compare { return &Compare{Op: op, Left: l, Right: r} }
+
+// Columns returns the sorted set of distinct column names referenced by p.
+func Columns(p Predicate) []string {
+	seen := map[string]bool{}
+	var walk func(Predicate)
+	var names []string
+	add := func(e Expr) {
+		for _, n := range ExprColumns(e, nil) {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	walk = func(p Predicate) {
+		switch x := p.(type) {
+		case *Compare:
+			add(x.Left)
+			add(x.Right)
+		case *And:
+			for _, q := range x.Preds {
+				walk(q)
+			}
+		case *Or:
+			for _, q := range x.Preds {
+				walk(q)
+			}
+		case *Not:
+			walk(x.P)
+		case *Literal:
+		default:
+			panic(fmt.Sprintf("predicate: unknown predicate %T", p))
+		}
+	}
+	walk(p)
+	sort.Strings(names)
+	return names
+}
+
+// UsesOnly reports whether every column referenced by p is in cols.
+func UsesOnly(p Predicate, cols []string) bool {
+	allowed := map[string]bool{}
+	for _, c := range cols {
+		allowed[c] = true
+	}
+	for _, c := range Columns(p) {
+		if !allowed[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality of two predicates.
+func Equal(a, b Predicate) bool {
+	switch x := a.(type) {
+	case *Compare:
+		y, ok := b.(*Compare)
+		return ok && x.Op == y.Op && ExprEqual(x.Left, y.Left) && ExprEqual(x.Right, y.Right)
+	case *And:
+		y, ok := b.(*And)
+		return ok && predsEqual(x.Preds, y.Preds)
+	case *Or:
+		y, ok := b.(*Or)
+		return ok && predsEqual(x.Preds, y.Preds)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && Equal(x.P, y.P)
+	case *Literal:
+		y, ok := b.(*Literal)
+		return ok && x.B == y.B
+	default:
+		panic(fmt.Sprintf("predicate: unknown predicate %T", a))
+	}
+}
+
+func predsEqual(a, b []Predicate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Conjuncts returns the top-level conjuncts of p: the members of a
+// top-level AND, or p itself otherwise.
+func Conjuncts(p Predicate) []Predicate {
+	if a, ok := p.(*And); ok {
+		return a.Preds
+	}
+	return []Predicate{p}
+}

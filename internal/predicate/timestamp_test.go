@@ -1,0 +1,55 @@
+package predicate
+
+import "testing"
+
+func TestTimestampConversion(t *testing.T) {
+	cases := []struct {
+		s    string
+		want int64
+	}{
+		{"1992-01-01 00:00:00", 0},
+		{"1992-01-01 00:00:01", 1},
+		{"1992-01-02 00:00:00", 86400},
+		{"1991-12-31 23:59:59", -1},
+		{"1992-01-01 12:30:45", 12*3600 + 30*60 + 45},
+	}
+	for _, c := range cases {
+		got, err := ParseTimestamp(c.s)
+		if err != nil {
+			t.Fatalf("%s: %v", c.s, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseTimestamp(%q) = %d, want %d", c.s, got, c.want)
+		}
+		if back := FormatTimestamp(c.want); back != c.s {
+			t.Errorf("FormatTimestamp(%d) = %q, want %q", c.want, back, c.s)
+		}
+	}
+	for _, bad := range []string{"nope", "1992-13-01 00:00:00", "1992-01-01 25:00:00"} {
+		if _, err := ParseTimestamp(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseTimestampLiteral(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "created", Type: TypeTimestamp, NotNull: true},
+		Column{Name: "updated", Type: TypeTimestamp, NotNull: true},
+	)
+	p := MustParse("updated - created < 3600 AND created >= TIMESTAMP '1993-06-01 08:00:00'", s)
+	base, _ := ParseTimestamp("1993-06-01 08:30:00")
+	tu := Tuple{"created": IntVal(base), "updated": IntVal(base + 1800)}
+	if Eval(p, tu) != True {
+		t.Fatalf("timestamp predicate should hold: %s", p)
+	}
+	tu["updated"] = IntVal(base + 7200)
+	if Eval(p, tu) != False {
+		t.Fatal("gap over an hour should fail")
+	}
+	// Print/parse round trip preserves semantics.
+	back := MustParse(p.String(), s)
+	if !Equal(p, back) {
+		t.Fatalf("round trip changed structure: %q vs %q", p, back)
+	}
+}

@@ -1,0 +1,178 @@
+// Package predicate defines the predicate language that Sia synthesizes
+// over: comparisons of linear arithmetic expressions combined with AND, OR
+// and NOT (SIGMOD '21, §4.1). It provides the AST, a schema-aware parser, a
+// SQL printer, NULL-aware three-valued evaluation, and normalization of
+// expressions to linear form.
+//
+// Supported column types are INTEGER, DOUBLE, DATE and TIMESTAMP. DATE and
+// TIMESTAMP values are represented as integers (days or seconds since the
+// package epoch), preserving all arithmetic and inequality relations, exactly
+// as the paper's type conversion does (§5.2).
+package predicate
+
+import "fmt"
+
+// Type is the data type of a column, constant, or expression.
+type Type int
+
+const (
+	// TypeInteger is a 64-bit signed integer.
+	TypeInteger Type = iota
+	// TypeDouble is a 64-bit IEEE-754 floating point number.
+	TypeDouble
+	// TypeDate is a calendar date, stored as days since Epoch.
+	TypeDate
+	// TypeTimestamp is a point in time, stored as seconds since Epoch.
+	TypeTimestamp
+)
+
+// Integral reports whether values of the type are stored as int64.
+func (t Type) Integral() bool { return t != TypeDouble }
+
+func (t Type) String() string {
+	switch t {
+	case TypeInteger:
+		return "INTEGER"
+	case TypeDouble:
+		return "DOUBLE"
+	case TypeDate:
+		return "DATE"
+	case TypeTimestamp:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Value is a single SQL value: either NULL, an integral value (INTEGER,
+// DATE, TIMESTAMP), or a DOUBLE.
+type Value struct {
+	Null bool
+	Int  int64
+	Real float64
+}
+
+// Null is the SQL NULL value.
+func NullValue() Value { return Value{Null: true} }
+
+// IntVal returns an integral Value.
+func IntVal(v int64) Value { return Value{Int: v} }
+
+// RealVal returns a DOUBLE Value.
+func RealVal(v float64) Value { return Value{Real: v} }
+
+// AsReal returns the value as a float64 (integral values are widened).
+// It must not be called on NULL.
+func (v Value) AsReal(integral bool) float64 {
+	if integral {
+		return float64(v.Int)
+	}
+	return v.Real
+}
+
+// Tuple maps column names to values. A column absent from the tuple is
+// treated as NULL by evaluation.
+type Tuple map[string]Value
+
+// TriBool is a value of SQL's three-valued (Kleene) logic.
+type TriBool int8
+
+const (
+	// False is the definite false truth value.
+	False TriBool = iota - 1
+	// Unknown is the NULL truth value.
+	Unknown
+	// True is the definite true truth value.
+	True
+)
+
+func (b TriBool) String() string {
+	switch b {
+	case True:
+		return "TRUE"
+	case False:
+		return "FALSE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// And returns the Kleene conjunction of two truth values.
+func (b TriBool) And(o TriBool) TriBool {
+	if b < o {
+		return b
+	}
+	return o
+}
+
+// Or returns the Kleene disjunction of two truth values.
+func (b TriBool) Or(o TriBool) TriBool {
+	if b > o {
+		return b
+	}
+	return o
+}
+
+// Not returns the Kleene negation of a truth value.
+func (b TriBool) Not() TriBool { return -b }
+
+// Column describes a named, typed column. NotNull records the catalog's
+// nullability constraint; Sia's verification uses it to decide whether a
+// column needs a NULL indicator in the three-valued encoding.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+// Schema is an ordered collection of columns with name lookup.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given columns. Duplicate names panic:
+// schemas are constructed from static catalogs and generators, so a
+// duplicate is a programming error.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{index: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		if _, dup := s.index[c.Name]; dup {
+			panic(fmt.Sprintf("predicate: duplicate column %q in schema", c.Name))
+		}
+		s.index[c.Name] = len(s.cols)
+		s.cols = append(s.cols, c)
+	}
+	return s
+}
+
+// Columns returns the schema's columns in declaration order.
+func (s *Schema) Columns() []Column { return s.cols }
+
+// Lookup returns the column with the given name.
+func (s *Schema) Lookup(name string) (Column, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return Column{}, false
+	}
+	return s.cols[i], true
+}
+
+// Type returns the type of the named column, or an error if absent.
+func (s *Schema) Type(name string) (Type, error) {
+	c, ok := s.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("predicate: unknown column %q", name)
+	}
+	return c.Type, nil
+}
+
+// Merge returns a new schema containing the columns of s followed by the
+// columns of others. Duplicate names across inputs panic, as in NewSchema.
+func Merge(schemas ...*Schema) *Schema {
+	var all []Column
+	for _, s := range schemas {
+		all = append(all, s.cols...)
+	}
+	return NewSchema(all...)
+}

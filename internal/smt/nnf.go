@@ -1,0 +1,80 @@
+package smt
+
+import "fmt"
+
+// NNF converts a formula to negation normal form: negations are pushed onto
+// atoms (and absorbed into the atom relation), so the result contains no Not
+// nodes. Quantifiers are flipped when a negation passes through them.
+func NNF(f Formula) Formula { return nnf(f, false) }
+
+func nnf(f Formula, neg bool) Formula {
+	switch x := f.(type) {
+	case Bool:
+		return Bool(bool(x) != neg)
+	case *Atom:
+		if !neg {
+			return x
+		}
+		return negAtom(x)
+	case *Div:
+		if !neg {
+			return x
+		}
+		return &Div{Neg: !x.Neg, M: x.M, T: x.T}
+	case *And:
+		fs := make([]Formula, 0, len(x.Fs))
+		for _, g := range x.Fs {
+			fs = append(fs, nnf(g, neg))
+		}
+		if neg {
+			return NewOr(fs...)
+		}
+		return NewAnd(fs...)
+	case *Or:
+		fs := make([]Formula, 0, len(x.Fs))
+		for _, g := range x.Fs {
+			fs = append(fs, nnf(g, neg))
+		}
+		if neg {
+			return NewAnd(fs...)
+		}
+		return NewOr(fs...)
+	case *Not:
+		return nnf(x.F, !neg)
+	case *Exists:
+		inner := nnf(x.F, neg)
+		if neg {
+			return &ForAll{V: x.V, F: inner}
+		}
+		return &Exists{V: x.V, F: inner}
+	case *ForAll:
+		inner := nnf(x.F, neg)
+		if neg {
+			return &Exists{V: x.V, F: inner}
+		}
+		return &ForAll{V: x.V, F: inner}
+	default:
+		panic(fmt.Sprintf("smt: unknown formula %T", f))
+	}
+}
+
+// negAtom returns the complement of an atom as an atom:
+//
+//	!(t <  0)  ==  -t <= 0
+//	!(t <= 0)  ==  -t <  0
+//	!(t =  0)  ==   t != 0
+//	!(t != 0)  ==   t =  0
+func negAtom(a *Atom) Formula {
+	switch a.Op {
+	case OpLT:
+		return newAtom(OpLE, a.T.Clone().Neg())
+	case OpLE:
+		return newAtom(OpLT, a.T.Clone().Neg())
+	case OpEQ:
+		return newAtom(OpNE, a.T.Clone())
+	case OpNE:
+		return newAtom(OpEQ, a.T.Clone())
+	default:
+		panic("smt: bad atom op")
+	}
+}

@@ -1,0 +1,342 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Simplify rewrites a formula into an equivalent, usually smaller one:
+// ground atoms fold to constants, atoms are put in a canonical scaled form,
+// divisibility terms are reduced modulo their modulus, duplicate children of
+// AND/OR collapse, and a child together with its complement collapses the
+// whole connective. Simplify is applied after every quantifier-elimination
+// step to keep intermediate formulas tractable.
+func Simplify(f Formula) Formula {
+	switch x := f.(type) {
+	case Bool:
+		return x
+	case *Atom:
+		return canonAtom(x.Op, x.T.Clone())
+	case *Div:
+		return canonDiv(x)
+	case *And:
+		return simplifyJunction(x.Fs, true)
+	case *Or:
+		return simplifyJunction(x.Fs, false)
+	case *Not:
+		inner := Simplify(x.F)
+		if a, ok := inner.(*Atom); ok {
+			n := negAtom(a)
+			if na, ok := n.(*Atom); ok {
+				return canonAtom(na.Op, na.T.Clone())
+			}
+			return n
+		}
+		if d, ok := inner.(*Div); ok {
+			return &Div{Neg: !d.Neg, M: d.M, T: d.T}
+		}
+		return NewNot(inner)
+	case *Exists:
+		inner := Simplify(x.F)
+		if b, ok := inner.(Bool); ok {
+			return b
+		}
+		if !occurs(x.V, inner) {
+			return inner
+		}
+		return &Exists{V: x.V, F: inner}
+	case *ForAll:
+		inner := Simplify(x.F)
+		if b, ok := inner.(Bool); ok {
+			return b
+		}
+		if !occurs(x.V, inner) {
+			return inner
+		}
+		return &ForAll{V: x.V, F: inner}
+	default:
+		panic(fmt.Sprintf("smt: unknown formula %T", f))
+	}
+}
+
+// occurs reports whether v occurs free in f.
+func occurs(v Var, f Formula) bool {
+	switch x := f.(type) {
+	case Bool:
+		return false
+	case *Atom:
+		return x.T.Has(v)
+	case *Div:
+		return x.T.Has(v)
+	case *And:
+		for _, g := range x.Fs {
+			if occurs(v, g) {
+				return true
+			}
+		}
+		return false
+	case *Or:
+		for _, g := range x.Fs {
+			if occurs(v, g) {
+				return true
+			}
+		}
+		return false
+	case *Not:
+		return occurs(v, x.F)
+	case *Exists:
+		return x.V != v && occurs(v, x.F)
+	case *ForAll:
+		return x.V != v && occurs(v, x.F)
+	default:
+		panic(fmt.Sprintf("smt: unknown formula %T", f))
+	}
+}
+
+// canonAtom scales the term to a canonical representative: denominators are
+// cleared, the coefficient content is divided out, and for sign-symmetric
+// relations (=, !=) the first variable's coefficient is made positive. All
+// scalings are by positive rationals, so the relation is preserved. If the
+// term has integer variables only and integer coefficients, a strict
+// inequality t < 0 is tightened to t + 1 <= 0.
+func canonAtom(op AtomOp, t *Term) Formula {
+	if t.IsConst() {
+		return Bool(evalAtomConst(op, t.Const()))
+	}
+	// Clear denominators and divide by content.
+	scale := new(big.Rat).SetInt(t.DenomLCM())
+	t.Scale(scale)
+	content := contentGCD(t)
+	if content.Cmp(bigOne) != 0 {
+		t.Scale(new(big.Rat).SetFrac(bigOne, content))
+	}
+	// For =, != flip sign so the lexicographically first variable has a
+	// positive coefficient, giving syntactically equal canonical forms.
+	if op == OpEQ || op == OpNE {
+		vars := t.Vars(nil)
+		if len(vars) > 0 && t.Coeff(vars[0]).Sign() < 0 {
+			t.Neg()
+		}
+	}
+	// Integer tightening: over all-integer terms, strict bounds become
+	// non-strict, bounds round down through the variable-coefficient GCD,
+	// and fractional equalities fold to constants.
+	if t.AllIntVars() && intCoeffs(t) {
+		switch op {
+		case OpLT:
+			// t < 0 with integer t  ==  t <= -1  ==  t+1 <= 0.
+			op = OpLE
+			t.AddInt64(1)
+			t = tightenIntLE(t)
+		case OpLE:
+			t = tightenIntLE(t)
+		case OpEQ, OpNE:
+			g := varCoeffGCD(t)
+			if g.Cmp(bigOne) > 0 {
+				t.Scale(new(big.Rat).SetFrac(bigOne, g))
+			}
+			if !t.Const().IsInt() {
+				// Integer combination can never equal a fraction.
+				return Bool(op == OpNE)
+			}
+		}
+	}
+	return newAtom(op, t)
+}
+
+// varCoeffGCD returns the GCD of the (integer) variable coefficients.
+func varCoeffGCD(t *Term) *big.Int {
+	g := new(big.Int)
+	for _, v := range t.Vars(nil) {
+		n := new(big.Int).Abs(t.Coeff(v).Num())
+		if g.Sign() == 0 {
+			g.Set(n)
+		} else {
+			g.GCD(nil, nil, g, n)
+		}
+	}
+	if g.Sign() == 0 {
+		g.SetInt64(1)
+	}
+	return g
+}
+
+// tightenIntLE rewrites g·s + c <= 0 (integer-valued s, integer coefficient
+// GCD g) as s - floor(-c/g) <= 0, the tightest integer bound.
+func tightenIntLE(t *Term) *Term {
+	g := varCoeffGCD(t)
+	if g.Cmp(bigOne) > 0 {
+		t.Scale(new(big.Rat).SetFrac(bigOne, g))
+	}
+	return roundIntAtomLE(t)
+}
+
+// intCoeffs reports whether every variable coefficient is an integer (the
+// constant may still be fractional).
+func intCoeffs(t *Term) bool {
+	for _, v := range t.Vars(nil) {
+		if !t.Coeff(v).IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// roundIntAtomLE tightens t <= 0 where all variable parts are integral:
+// sum + c <= 0  ==  sum <= floor(-c)  ==  sum - floor(-c) <= 0.
+func roundIntAtomLE(t *Term) *Term {
+	c := t.Const()
+	if c.IsInt() {
+		return t
+	}
+	negC := new(big.Rat).Neg(c)
+	fl := new(big.Int).Quo(negC.Num(), negC.Denom())
+	// big.Int Quo truncates toward zero; adjust to floor for negatives.
+	if negC.Sign() < 0 {
+		r := new(big.Int).Rem(negC.Num(), negC.Denom())
+		if r.Sign() != 0 {
+			fl.Sub(fl, bigOne)
+		}
+	}
+	t.konst.SetInt(new(big.Int).Neg(fl))
+	return t
+}
+
+// contentGCD returns the GCD of the numerators of all coefficients and the
+// constant, assuming denominators are already cleared. Returns 1 if the
+// term is zero apart from signs.
+func contentGCD(t *Term) *big.Int {
+	g := new(big.Int)
+	acc := func(r *big.Rat) {
+		n := new(big.Int).Abs(r.Num())
+		if n.Sign() != 0 {
+			if g.Sign() == 0 {
+				g.Set(n)
+			} else {
+				g.GCD(nil, nil, g, n)
+			}
+		}
+	}
+	for _, v := range t.Vars(nil) {
+		acc(t.Coeff(v))
+	}
+	acc(t.Const())
+	if g.Sign() == 0 {
+		g.SetInt64(1)
+	}
+	return g
+}
+
+// canonDiv canonicalizes a divisibility atom: the term's coefficients and
+// constant are reduced modulo M, and ground instances fold to Bool.
+func canonDiv(d *Div) Formula {
+	if d.M.Cmp(bigOne) == 0 {
+		return Bool(!d.Neg)
+	}
+	t := d.T.Clone()
+	if !allIntRat(t) {
+		// Non-integer coefficients: leave untouched (only produced by
+		// pathological inputs; correctness is preserved).
+		return &Div{Neg: d.Neg, M: d.M, T: t}
+	}
+	for _, v := range t.Vars(nil) {
+		c := t.coeffs[v]
+		mod := new(big.Int).Mod(c.Num(), d.M)
+		if mod.Sign() == 0 {
+			delete(t.coeffs, v)
+		} else {
+			c.SetInt(mod)
+		}
+	}
+	kmod := new(big.Int).Mod(t.konst.Num(), d.M)
+	t.konst.SetInt(kmod)
+	return simplifyDiv(&Div{Neg: d.Neg, M: d.M, T: t})
+}
+
+func allIntRat(t *Term) bool {
+	if !t.konst.IsInt() {
+		return false
+	}
+	for _, v := range t.Vars(nil) {
+		if !t.Coeff(v).IsInt() {
+			return false
+		}
+	}
+	return true
+}
+
+// simplifyJunction simplifies the children of an AND (isAnd) or OR,
+// deduplicates them syntactically, and detects complementary atom pairs.
+func simplifyJunction(fs []Formula, isAnd bool) Formula {
+	var out []Formula
+	seen := map[string]bool{}
+	var visit func(g Formula) bool // returns false to abort (absorbing elt)
+	visit = func(g Formula) bool {
+		g = Simplify(g)
+		switch x := g.(type) {
+		case Bool:
+			if bool(x) == isAnd {
+				return true // identity element, drop
+			}
+			return false // absorbing element
+		case *And:
+			if isAnd {
+				for _, c := range x.Fs {
+					if !visit(c) {
+						return false
+					}
+				}
+				return true
+			}
+		case *Or:
+			if !isAnd {
+				for _, c := range x.Fs {
+					if !visit(c) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		key := g.String()
+		if seen[key] {
+			return true
+		}
+		// Complement detection for atoms: an AND containing both an atom
+		// and its negation is false; dually for OR.
+		if a, ok := g.(*Atom); ok {
+			if seen[negAtomKey(a)] {
+				return false
+			}
+		}
+		if d, ok := g.(*Div); ok {
+			if seen[(&Div{Neg: !d.Neg, M: d.M, T: d.T}).String()] {
+				return false
+			}
+		}
+		seen[key] = true
+		out = append(out, g)
+		return true
+	}
+	for _, g := range fs {
+		if !visit(g) {
+			return Bool(!isAnd)
+		}
+	}
+	if isAnd {
+		return NewAnd(out...)
+	}
+	return NewOr(out...)
+}
+
+// negAtomKey returns the canonical string of the atom's complement, so that
+// complement detection works against already-canonicalized siblings.
+func negAtomKey(a *Atom) string {
+	n := negAtom(a)
+	if na, ok := n.(*Atom); ok {
+		n = canonAtom(na.Op, na.T.Clone())
+	}
+	return n.String()
+}
+
+var bigOne = big.NewInt(1)

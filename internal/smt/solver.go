@@ -1,0 +1,395 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+)
+
+// ErrBudget is returned (wrapped) when quantifier elimination exceeds the
+// solver's size limits. Callers treat it like a solver timeout: Sia gives up
+// on the current synthesis rather than crashing.
+var ErrBudget = errors.New("smt: elimination budget exceeded")
+
+// ErrUnsat is returned by Model when the formula has no model.
+var ErrUnsat = errors.New("smt: unsatisfiable")
+
+// Model is a satisfying assignment: exact rational values per variable
+// (integer-sorted variables always map to integral rationals).
+type Model map[Var]*big.Rat
+
+// Stats counts the work a solver has performed.
+type Stats struct {
+	SatQueries   int // calls to Satisfiable (including internal ones)
+	Eliminations int // quantifier eliminations performed
+	ModelQueries int // calls to Model
+	SimplexCuts  int // UNSAT answers settled by the rational simplex fast path
+}
+
+// Solver decides satisfiability of linear-arithmetic formulas with
+// quantifiers and extracts models. The zero value is ready to use; limits
+// default to values suited to Sia's predicate sizes.
+type Solver struct {
+	// MaxNodes bounds the node count of any intermediate formula during a
+	// single quantifier elimination. 0 means the default.
+	MaxNodes int
+	// MaxDisjuncts bounds the number of substitution instances a single
+	// Cooper elimination may expand. 0 means the default.
+	MaxDisjuncts int
+	// MaxModulus bounds the divisibility period δ in Cooper elimination.
+	// 0 means the default.
+	MaxModulus int
+	// Timeout bounds the wall-clock time of one public call (Satisfiable,
+	// Valid, Model, QE). Exceeding it returns ErrBudget — the analogue of
+	// the Z3 timeout the paper configures ("the optimizer may use SIA
+	// with an explicit timeout", §6.2). 0 means no timeout.
+	Timeout time.Duration
+
+	Stats    Stats
+	freshID  int
+	deadline time.Time
+}
+
+// arm starts the timeout clock for a public entry point. Nested public
+// calls (e.g. Model calling QE) keep the outermost deadline.
+func (s *Solver) arm() func() {
+	if s.Timeout <= 0 || !s.deadline.IsZero() {
+		return func() {}
+	}
+	s.deadline = time.Now().Add(s.Timeout)
+	return func() { s.deadline = time.Time{} }
+}
+
+// expired reports whether the current call ran past its deadline.
+func (s *Solver) expired() bool {
+	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+}
+
+// New returns a solver with default limits.
+func New() *Solver { return &Solver{} }
+
+func (s *Solver) maxNodes() int {
+	if s.MaxNodes > 0 {
+		return s.MaxNodes
+	}
+	return 400000
+}
+
+func (s *Solver) maxDisjuncts() int {
+	if s.MaxDisjuncts > 0 {
+		return s.MaxDisjuncts
+	}
+	return 50000
+}
+
+func (s *Solver) maxModulus() int {
+	if s.MaxModulus > 0 {
+		return s.MaxModulus
+	}
+	return 100000
+}
+
+func (s *Solver) freshVar() Var {
+	s.freshID++
+	return Var{Name: fmt.Sprintf("$q%d", s.freshID), Sort: SortInt}
+}
+
+// QE returns a quantifier-free formula equivalent to f.
+func (s *Solver) QE(f Formula) (Formula, error) {
+	defer s.arm()()
+	switch x := f.(type) {
+	case Bool, *Atom, *Div:
+		return f, nil
+	case *And:
+		fs := make([]Formula, 0, len(x.Fs))
+		for _, g := range x.Fs {
+			r, err := s.QE(g)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, r)
+		}
+		return NewAnd(fs...), nil
+	case *Or:
+		fs := make([]Formula, 0, len(x.Fs))
+		for _, g := range x.Fs {
+			r, err := s.QE(g)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, r)
+		}
+		return NewOr(fs...), nil
+	case *Not:
+		inner, err := s.QE(x.F)
+		if err != nil {
+			return nil, err
+		}
+		return NewNot(inner), nil
+	case *Exists:
+		inner, err := s.QE(x.F)
+		if err != nil {
+			return nil, err
+		}
+		return s.eliminate(x.V, inner)
+	case *ForAll:
+		inner, err := s.QE(x.F)
+		if err != nil {
+			return nil, err
+		}
+		elim, err := s.eliminate(x.V, NNF(NewNot(inner)))
+		if err != nil {
+			return nil, err
+		}
+		return Simplify(NNF(NewNot(elim))), nil
+	default:
+		panic(fmt.Sprintf("smt: unknown formula %T", f))
+	}
+}
+
+// eliminate removes one existential variable from a quantifier-free
+// formula, dispatching on the variable's sort. Existentials distribute over
+// disjunction, which keeps intermediate formulas small when the input is
+// already a union of cases (as Cooper's output is).
+func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
+	if s.expired() {
+		return nil, fmt.Errorf("%w: timeout after %v", ErrBudget, s.Timeout)
+	}
+	f = Simplify(NNF(f))
+	if !occurs(v, f) {
+		return f, nil
+	}
+	s.Stats.Eliminations++
+	if or, ok := f.(*Or); ok {
+		fs := make([]Formula, 0, len(or.Fs))
+		for _, g := range or.Fs {
+			r, err := s.eliminate(v, g)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := r.(Bool); ok && bool(b) {
+				return Bool(true), nil
+			}
+			fs = append(fs, r)
+		}
+		return Simplify(NewOr(fs...)), nil
+	}
+	if v.Sort == SortInt {
+		return s.eliminateInt(v, f)
+	}
+	return s.eliminateReal(v, f)
+}
+
+// Satisfiable decides whether f has a model. Free variables are treated as
+// existentially quantified.
+func (s *Solver) Satisfiable(f Formula) (bool, error) {
+	defer s.arm()()
+	s.Stats.SatQueries++
+	f = Simplify(NNF(f))
+	// Fast path: a conjunction of linear atoms that is already infeasible
+	// over the rationals needs no quantifier elimination.
+	if simplexCheck(f) == simplexInfeasible {
+		s.Stats.SimplexCuts++
+		return false, nil
+	}
+	closed := f
+	for _, v := range FreeVars(f) {
+		closed = &Exists{V: v, F: closed}
+	}
+	g, err := s.QE(closed)
+	if err != nil {
+		return false, err
+	}
+	g = Simplify(g)
+	b, ok := g.(Bool)
+	if !ok {
+		return false, fmt.Errorf("smt: internal: closed formula reduced to %s", g)
+	}
+	return bool(b), nil
+}
+
+// Valid decides whether f holds under every assignment of its free
+// variables.
+func (s *Solver) Valid(f Formula) (bool, error) {
+	sat, err := s.Satisfiable(NewNot(f))
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}
+
+// Model returns a satisfying assignment for f's free variables, or ErrUnsat.
+//
+// The procedure assigns variables one at a time: for each variable v it
+// projects all later variables away with quantifier elimination, obtaining
+// a univariate formula whose solution set is a finite union of intervals
+// (and congruence classes, for integers); it then picks a concrete value
+// from that set and substitutes it before moving on. This mirrors how the
+// paper extracts concrete tuples from Z3's models (§5.3) while remaining
+// exact.
+func (s *Solver) Model(f Formula) (Model, error) {
+	defer s.arm()()
+	s.Stats.ModelQueries++
+	vars := FreeVars(f)
+	qf, err := s.QE(f)
+	if err != nil {
+		return nil, err
+	}
+	qf = Simplify(NNF(qf))
+	if b, ok := qf.(Bool); ok {
+		if !bool(b) {
+			return nil, ErrUnsat
+		}
+		m := Model{}
+		for _, v := range vars {
+			m[v] = new(big.Rat)
+		}
+		return m, nil
+	}
+
+	// Forward elimination: stages[i] == ∃vars[0..i-1]. qf, so stages[i]
+	// mentions only vars[i:]. Each stage is computed once.
+	stages := make([]Formula, len(vars)+1)
+	stages[0] = qf
+	for i, v := range vars {
+		g, err := s.eliminate(v, stages[i])
+		if err != nil {
+			return nil, err
+		}
+		stages[i+1] = g
+	}
+	if b, ok := Simplify(stages[len(vars)]).(Bool); !ok || !bool(b) {
+		return nil, ErrUnsat
+	}
+
+	// Back substitution: pick vars[n-1] from stages[n-1] (univariate),
+	// then vars[i] from stages[i] with vars[i+1:] already substituted.
+	model := Model{}
+	for i := len(vars) - 1; i >= 0; i-- {
+		v := vars[i]
+		g := stages[i]
+		for j := i + 1; j < len(vars); j++ {
+			g = Subst(g, vars[j], NewTerm(model[vars[j]]))
+		}
+		g = Simplify(g)
+		val, err := solveUnivariate(v, g)
+		if err != nil {
+			return nil, fmt.Errorf("smt: internal: back substitution failed at %s: %w", v, err)
+		}
+		model[v] = val
+	}
+	// Final sanity check: the full assignment must satisfy the formula.
+	check := qf
+	for _, v := range vars {
+		check = Subst(check, v, NewTerm(model[v]))
+	}
+	if b, ok := Simplify(check).(Bool); !ok || !bool(b) {
+		return nil, fmt.Errorf("smt: internal: model check failed")
+	}
+	return model, nil
+}
+
+// solveUnivariate picks a value for v from a satisfiable quantifier-free
+// formula whose only free variable is v. The solution set of such a formula
+// is a finite union of intervals with endpoints among the atoms' bound
+// constants, refined (for integers) by congruence constraints of period δ.
+// Testing the bounds themselves, their δ-neighborhoods, and points beyond
+// the extremes is therefore complete.
+func solveUnivariate(v Var, f Formula) (*big.Rat, error) {
+	if b, ok := f.(Bool); ok {
+		if !bool(b) {
+			return nil, ErrUnsat
+		}
+		return new(big.Rat), nil // any value works; use 0
+	}
+	var bounds []*big.Rat
+	seenBounds := map[string]bool{}
+	delta := big.NewInt(1)
+	err := walkLeaves(f, func(leaf Formula) error {
+		switch x := leaf.(type) {
+		case *Atom:
+			c := x.T.Coeff(v)
+			if c.Sign() == 0 {
+				return fmt.Errorf("smt: internal: ground atom %s survived simplification", x)
+			}
+			rest := new(big.Rat).Set(x.T.Const())
+			// bound = -rest/c
+			b := rest.Neg(rest)
+			b.Quo(b, c)
+			if key := b.RatString(); !seenBounds[key] {
+				seenBounds[key] = true
+				bounds = append(bounds, b)
+			}
+		case *Div:
+			if x.T.Has(v) {
+				lcmInto(delta, x.M)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var candidates []*big.Rat
+	seenCand := map[string]bool{}
+	push := func(r *big.Rat) {
+		if key := r.RatString(); !seenCand[key] {
+			seenCand[key] = true
+			candidates = append(candidates, r)
+		}
+	}
+	if v.Sort == SortInt {
+		if !delta.IsInt64() || delta.Int64() > 1_000_000 {
+			return nil, fmt.Errorf("%w: univariate period %s too large", ErrBudget, delta)
+		}
+		dn := delta.Int64()
+		if est := int64(2*len(bounds)+1) * (2*dn + 3); est > 500000 {
+			return nil, fmt.Errorf("%w: %d univariate candidates", ErrBudget, est)
+		}
+		base := []*big.Rat{new(big.Rat)}
+		for _, b := range bounds {
+			fl := ratFloor(b)
+			base = append(base, new(big.Rat).SetInt(fl), new(big.Rat).SetInt(new(big.Int).Add(fl, bigOne)))
+		}
+		for _, b := range base {
+			for j := int64(-dn - 1); j <= dn+1; j++ {
+				push(new(big.Rat).Add(b, new(big.Rat).SetInt64(j)))
+			}
+		}
+	} else {
+		push(new(big.Rat))
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i].Cmp(bounds[j]) < 0 })
+		for i, b := range bounds {
+			push(new(big.Rat).Set(b))
+			if i+1 < len(bounds) {
+				mid := new(big.Rat).Add(b, bounds[i+1])
+				mid.Quo(mid, big.NewRat(2, 1))
+				push(mid)
+			}
+		}
+		if len(bounds) > 0 {
+			push(new(big.Rat).Sub(bounds[0], ratOne))
+			push(new(big.Rat).Add(bounds[len(bounds)-1], ratOne))
+		}
+	}
+
+	for _, cand := range candidates {
+		g := Simplify(Subst(f, v, NewTerm(cand)))
+		if b, ok := g.(Bool); ok && bool(b) {
+			return cand, nil
+		}
+	}
+	return nil, ErrUnsat
+}
+
+// ratFloor returns ⌊r⌋ as a big.Int.
+func ratFloor(r *big.Rat) *big.Int {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, bigOne)
+	}
+	return q
+}

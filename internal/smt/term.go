@@ -1,0 +1,277 @@
+// Package smt implements the satisfiability-modulo-theories substrate Sia
+// depends on. The paper uses Z3; Go has no solid Z3 bindings, so this
+// package is a from-scratch decision procedure for the exact fragment Sia's
+// queries live in:
+//
+//   - linear integer arithmetic with quantifiers (Presburger arithmetic),
+//     decided by Cooper's quantifier-elimination algorithm, and
+//   - linear real arithmetic with quantifiers, decided by Loos–Weispfenning
+//     virtual substitution.
+//
+// Both fragments admit the alternating ∃∀ queries Sia issues when searching
+// for unsatisfaction tuples (§4.2: "This formula contains an alternating
+// quantifier that supports linear arithmetic ... so it is a decidable
+// problem"). On top of quantifier elimination the package provides
+// satisfiability checking and model extraction, which together supply every
+// solver operation in the paper: SAT checks for Verify, and model
+// enumeration (with blocking constraints) for GenerateSamples, CounterT and
+// CounterF.
+//
+// All arithmetic is exact (math/big rationals), so results are never subject
+// to floating-point error.
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Sort is the sort (type) of a variable.
+type Sort int
+
+const (
+	// SortInt is the sort of integer-valued variables.
+	SortInt Sort = iota
+	// SortReal is the sort of real-valued variables.
+	SortReal
+)
+
+func (s Sort) String() string {
+	if s == SortInt {
+		return "Int"
+	}
+	return "Real"
+}
+
+// Var is a sorted variable. Vars are value types and compare with ==.
+type Var struct {
+	Name string
+	Sort Sort
+}
+
+func (v Var) String() string { return v.Name }
+
+// IntVar returns an integer-sorted variable.
+func IntVar(name string) Var { return Var{Name: name, Sort: SortInt} }
+
+// RealVar returns a real-sorted variable.
+func RealVar(name string) Var { return Var{Name: name, Sort: SortReal} }
+
+// Term is a linear term: a rational constant plus a sum of rational
+// coefficients times variables. The zero map entry is never stored.
+type Term struct {
+	coeffs map[Var]*big.Rat
+	konst  *big.Rat
+}
+
+// NewTerm returns the constant term c (c may be nil for zero).
+func NewTerm(c *big.Rat) *Term {
+	t := &Term{coeffs: map[Var]*big.Rat{}, konst: new(big.Rat)}
+	if c != nil {
+		t.konst.Set(c)
+	}
+	return t
+}
+
+// ConstTerm returns the integer constant term n.
+func ConstTerm(n int64) *Term { return NewTerm(new(big.Rat).SetInt64(n)) }
+
+// VarTerm returns the term 1*v.
+func VarTerm(v Var) *Term {
+	t := NewTerm(nil)
+	t.AddVar(v, big.NewRat(1, 1))
+	return t
+}
+
+// Clone returns a deep copy of the term.
+func (t *Term) Clone() *Term {
+	c := &Term{coeffs: make(map[Var]*big.Rat, len(t.coeffs)), konst: new(big.Rat).Set(t.konst)}
+	for v, r := range t.coeffs {
+		c.coeffs[v] = new(big.Rat).Set(r)
+	}
+	return c
+}
+
+// AddVar adds coeff*v to the term in place and returns the term.
+func (t *Term) AddVar(v Var, coeff *big.Rat) *Term {
+	cur, ok := t.coeffs[v]
+	if !ok {
+		cur = new(big.Rat)
+		t.coeffs[v] = cur
+	}
+	cur.Add(cur, coeff)
+	if cur.Sign() == 0 {
+		delete(t.coeffs, v)
+	}
+	return t
+}
+
+// AddConst adds c to the term's constant in place and returns the term.
+func (t *Term) AddConst(c *big.Rat) *Term {
+	t.konst.Add(t.konst, c)
+	return t
+}
+
+// AddInt64 adds the integer n to the term's constant in place.
+func (t *Term) AddInt64(n int64) *Term {
+	return t.AddConst(new(big.Rat).SetInt64(n))
+}
+
+// Add adds o to the term in place and returns the term.
+func (t *Term) Add(o *Term) *Term {
+	for v, r := range o.coeffs {
+		t.AddVar(v, r)
+	}
+	return t.AddConst(o.konst)
+}
+
+// AddScaled adds k*o to the term in place and returns the term.
+func (t *Term) AddScaled(o *Term, k *big.Rat) *Term {
+	tmp := new(big.Rat)
+	for v, r := range o.coeffs {
+		t.AddVar(v, tmp.Mul(r, k))
+	}
+	return t.AddConst(tmp.Mul(o.konst, k))
+}
+
+// Scale multiplies the term by k in place and returns the term.
+func (t *Term) Scale(k *big.Rat) *Term {
+	if k.Sign() == 0 {
+		t.coeffs = map[Var]*big.Rat{}
+		t.konst.SetInt64(0)
+		return t
+	}
+	for _, r := range t.coeffs {
+		r.Mul(r, k)
+	}
+	t.konst.Mul(t.konst, k)
+	return t
+}
+
+// Neg negates the term in place and returns the term.
+func (t *Term) Neg() *Term { return t.Scale(big.NewRat(-1, 1)) }
+
+// Coeff returns the coefficient of v (zero if absent). The returned value
+// must not be mutated.
+func (t *Term) Coeff(v Var) *big.Rat {
+	if c, ok := t.coeffs[v]; ok {
+		return c
+	}
+	return ratZero
+}
+
+// Const returns the constant part. The returned value must not be mutated.
+func (t *Term) Const() *big.Rat { return t.konst }
+
+// IsConst reports whether the term has no variables.
+func (t *Term) IsConst() bool { return len(t.coeffs) == 0 }
+
+// Has reports whether v occurs in the term with non-zero coefficient.
+func (t *Term) Has(v Var) bool { _, ok := t.coeffs[v]; return ok }
+
+// Vars appends the term's variables to dst in sorted order.
+func (t *Term) Vars(dst []Var) []Var {
+	start := len(dst)
+	for v := range t.coeffs {
+		dst = append(dst, v)
+	}
+	sort.Slice(dst[start:], func(i, j int) bool { return dst[start+i].Name < dst[start+j].Name })
+	return dst
+}
+
+// Subst replaces v by the term repl: t becomes t[v := repl]. Returns t.
+func (t *Term) Subst(v Var, repl *Term) *Term {
+	c, ok := t.coeffs[v]
+	if !ok {
+		return t
+	}
+	k := new(big.Rat).Set(c)
+	delete(t.coeffs, v)
+	return t.AddScaled(repl, k)
+}
+
+// DenomLCM returns the least common multiple of the denominators of all
+// coefficients and the constant.
+func (t *Term) DenomLCM() *big.Int {
+	l := big.NewInt(1)
+	lcmInto(l, t.konst.Denom())
+	for _, c := range t.coeffs {
+		lcmInto(l, c.Denom())
+	}
+	return l
+}
+
+// AllIntVars reports whether every variable of the term is integer-sorted.
+func (t *Term) AllIntVars() bool {
+	for v := range t.coeffs {
+		if v.Sort != SortInt {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Term) String() string {
+	vars := t.Vars(nil)
+	if len(vars) == 0 {
+		return t.konst.RatString()
+	}
+	var sb strings.Builder
+	for i, v := range vars {
+		c := t.coeffs[v]
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		if c.Cmp(ratOne) == 0 {
+			sb.WriteString(v.Name)
+		} else {
+			fmt.Fprintf(&sb, "%s*%s", c.RatString(), v.Name)
+		}
+	}
+	if t.konst.Sign() != 0 {
+		fmt.Fprintf(&sb, " + %s", t.konst.RatString())
+	}
+	return sb.String()
+}
+
+// Equal reports whether two terms are identical.
+func (t *Term) Equal(o *Term) bool {
+	if t.konst.Cmp(o.konst) != 0 || len(t.coeffs) != len(o.coeffs) {
+		return false
+	}
+	for v, c := range t.coeffs {
+		oc, ok := o.coeffs[v]
+		if !ok || c.Cmp(oc) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the term under the assignment, which must bind every
+// variable of the term.
+func (t *Term) Eval(m Model) (*big.Rat, error) {
+	res := new(big.Rat).Set(t.konst)
+	tmp := new(big.Rat)
+	for v, c := range t.coeffs {
+		val, ok := m[v]
+		if !ok {
+			return nil, fmt.Errorf("smt: unbound variable %s", v)
+		}
+		res.Add(res, tmp.Mul(c, val))
+	}
+	return res, nil
+}
+
+var (
+	ratZero = new(big.Rat)
+	ratOne  = big.NewRat(1, 1)
+)
+
+// lcmInto sets l = lcm(l, d) for positive d.
+func lcmInto(l, d *big.Int) {
+	g := new(big.Int).GCD(nil, nil, l, d)
+	l.Div(l, g).Mul(l, d)
+}

@@ -1,0 +1,112 @@
+package smt
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestTermArithmetic(t *testing.T) {
+	x, y := IntVar("x"), IntVar("y")
+	tm := VarTerm(x)
+	tm.AddVar(y, big.NewRat(3, 1))
+	tm.AddInt64(5)
+	if got := tm.String(); got != "x + 3*y + 5" {
+		t.Fatalf("String = %q", got)
+	}
+	tm.AddVar(x, big.NewRat(-1, 1))
+	if tm.Has(x) {
+		t.Fatal("zero coefficient should be removed")
+	}
+	tm.Scale(big.NewRat(2, 1))
+	if got := tm.Coeff(y).RatString(); got != "6" {
+		t.Fatalf("Coeff(y) = %s after scale", got)
+	}
+	if got := tm.Const().RatString(); got != "10" {
+		t.Fatalf("Const = %s after scale", got)
+	}
+	tm.Neg()
+	if got := tm.Const().RatString(); got != "-10" {
+		t.Fatalf("Const = %s after neg", got)
+	}
+}
+
+func TestTermSubst(t *testing.T) {
+	x, y, z := IntVar("x"), IntVar("y"), IntVar("z")
+	// t = 2x + y + 1; x := z - 3  =>  2z + y - 5
+	tm := NewTerm(nil)
+	tm.AddVar(x, big.NewRat(2, 1))
+	tm.AddVar(y, big.NewRat(1, 1))
+	tm.AddInt64(1)
+	repl := VarTerm(z)
+	repl.AddInt64(-3)
+	tm.Subst(x, repl)
+	if tm.Has(x) {
+		t.Fatal("x should be gone")
+	}
+	if got := tm.Coeff(z).RatString(); got != "2" {
+		t.Fatalf("coeff z = %s", got)
+	}
+	if got := tm.Const().RatString(); got != "-5" {
+		t.Fatalf("const = %s", got)
+	}
+}
+
+func TestTermEval(t *testing.T) {
+	x, y := IntVar("x"), IntVar("y")
+	tm := NewTerm(nil)
+	tm.AddVar(x, big.NewRat(2, 1))
+	tm.AddVar(y, big.NewRat(-1, 2))
+	tm.AddInt64(7)
+	m := Model{x: big.NewRat(3, 1), y: big.NewRat(4, 1)}
+	v, err := tm.Eval(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.RatString() != "11" { // 6 - 2 + 7
+		t.Fatalf("Eval = %s", v.RatString())
+	}
+	if _, err := tm.Eval(Model{x: big.NewRat(1, 1)}); err == nil {
+		t.Fatal("expected unbound variable error")
+	}
+}
+
+func TestTermDenomLCM(t *testing.T) {
+	x, y := IntVar("x"), IntVar("y")
+	tm := NewTerm(big.NewRat(1, 6))
+	tm.AddVar(x, big.NewRat(1, 4))
+	tm.AddVar(y, big.NewRat(2, 3))
+	if got := tm.DenomLCM().Int64(); got != 12 {
+		t.Fatalf("DenomLCM = %d, want 12", got)
+	}
+}
+
+func TestTermClone(t *testing.T) {
+	x := IntVar("x")
+	a := VarTerm(x)
+	b := a.Clone()
+	b.AddInt64(5)
+	if a.Const().Sign() != 0 {
+		t.Fatal("Clone is not deep")
+	}
+	if !a.Equal(VarTerm(x)) {
+		t.Fatal("original mutated")
+	}
+	if a.Equal(b) {
+		t.Fatal("Equal should distinguish modified clone")
+	}
+}
+
+func TestRatFloor(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		want     int64
+	}{
+		{7, 2, 3}, {-7, 2, -4}, {6, 2, 3}, {-6, 2, -3}, {0, 1, 0}, {1, 3, 0}, {-1, 3, -1},
+	}
+	for _, c := range cases {
+		got := ratFloor(big.NewRat(c.num, c.den))
+		if got.Int64() != c.want {
+			t.Errorf("floor(%d/%d) = %s, want %d", c.num, c.den, got, c.want)
+		}
+	}
+}

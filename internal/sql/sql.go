@@ -1,0 +1,268 @@
+// Package sql is the minimal SQL frontend for the benchmark dialect:
+//
+//	SELECT <* | col[, col]* | COUNT(*)>
+//	FROM table [, table]*
+//	WHERE <predicate>
+//	[GROUP BY col[, col]*]
+//
+// It binds column references against a catalog, extracts equi-join keys
+// from the WHERE clause, and lowers the statement to a logical plan
+// (join tree + filter + projection/aggregation). The paper performs this
+// step with Apache Calcite.
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"sia/internal/engine"
+	"sia/internal/plan"
+	"sia/internal/predicate"
+)
+
+// Query is a parsed and bound SELECT statement.
+type Query struct {
+	// Tables are the FROM-clause table names in order.
+	Tables []string
+	// SelectCols is nil for SELECT *; CountStar is set for COUNT(*).
+	SelectCols []string
+	CountStar  bool
+	// Where is the bound WHERE predicate (including join conditions).
+	Where predicate.Predicate
+	// GroupBy lists the GROUP BY columns (empty if absent).
+	GroupBy []string
+	// Schema is the merged schema of all FROM tables.
+	Schema *predicate.Schema
+}
+
+// Parse parses and binds a SELECT statement against the catalog.
+func Parse(stmt string, cat *plan.Catalog) (*Query, error) {
+	sel, from, where, groupBy, err := splitClauses(stmt)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for _, t := range splitList(from) {
+		q.Tables = append(q.Tables, strings.TrimSpace(t))
+	}
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("sql: empty FROM clause")
+	}
+	var schemas []*predicate.Schema
+	for _, t := range q.Tables {
+		s, err := cat.Schema(t)
+		if err != nil {
+			return nil, err
+		}
+		schemas = append(schemas, s)
+	}
+	q.Schema = predicate.Merge(schemas...)
+
+	sel = strings.TrimSpace(sel)
+	switch {
+	case sel == "*":
+	case strings.EqualFold(sel, "COUNT(*)"):
+		q.CountStar = true
+	default:
+		for _, c := range splitList(sel) {
+			name := strings.TrimSpace(c)
+			if _, ok := q.Schema.Lookup(name); !ok {
+				return nil, fmt.Errorf("sql: unknown column %q in SELECT", name)
+			}
+			q.SelectCols = append(q.SelectCols, name)
+		}
+	}
+
+	if strings.TrimSpace(where) == "" {
+		q.Where = predicate.TruePred
+	} else {
+		p, err := predicate.Parse(where, q.Schema)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = p
+	}
+
+	for _, g := range splitList(groupBy) {
+		name := strings.TrimSpace(g)
+		if name == "" {
+			continue
+		}
+		if _, ok := q.Schema.Lookup(name); !ok {
+			return nil, fmt.Errorf("sql: unknown column %q in GROUP BY", name)
+		}
+		q.GroupBy = append(q.GroupBy, name)
+	}
+	return q, nil
+}
+
+// splitClauses slices the statement into SELECT/FROM/WHERE/GROUP BY parts
+// by scanning for top-level keywords (outside parentheses and quotes).
+func splitClauses(stmt string) (sel, from, where, groupBy string, err error) {
+	s := strings.TrimSpace(stmt)
+	s = strings.TrimSuffix(s, ";")
+	upper := strings.ToUpper(s)
+	if !strings.HasPrefix(upper, "SELECT") {
+		return "", "", "", "", fmt.Errorf("sql: statement must start with SELECT")
+	}
+	idxFrom := keywordIndex(upper, "FROM")
+	if idxFrom < 0 {
+		return "", "", "", "", fmt.Errorf("sql: missing FROM clause")
+	}
+	idxWhere := keywordIndex(upper, "WHERE")
+	idxGroup := keywordIndex(upper, "GROUP BY")
+
+	sel = s[len("SELECT"):idxFrom]
+	endFrom := len(s)
+	if idxWhere >= 0 {
+		endFrom = idxWhere
+	} else if idxGroup >= 0 {
+		endFrom = idxGroup
+	}
+	from = s[idxFrom+len("FROM") : endFrom]
+	if idxWhere >= 0 {
+		endWhere := len(s)
+		if idxGroup >= 0 {
+			if idxGroup < idxWhere {
+				return "", "", "", "", fmt.Errorf("sql: GROUP BY before WHERE")
+			}
+			endWhere = idxGroup
+		}
+		where = s[idxWhere+len("WHERE") : endWhere]
+	}
+	if idxGroup >= 0 {
+		groupBy = s[idxGroup+len("GROUP BY"):]
+	}
+	return sel, from, where, groupBy, nil
+}
+
+// keywordIndex finds a top-level occurrence of kw (case-insensitive, word
+// boundaries, outside quotes and parentheses). Returns -1 when absent.
+func keywordIndex(upper, kw string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i+len(kw) <= len(upper); i++ {
+		switch upper[i] {
+		case '\'':
+			inStr = !inStr
+			continue
+		case '(':
+			if !inStr {
+				depth++
+			}
+			continue
+		case ')':
+			if !inStr {
+				depth--
+			}
+			continue
+		}
+		if inStr || depth > 0 {
+			continue
+		}
+		if strings.HasPrefix(upper[i:], kw) &&
+			(i == 0 || !isWordChar(upper[i-1])) &&
+			(i+len(kw) == len(upper) || !isWordChar(upper[i+len(kw)])) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func splitList(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// Plan lowers the query to a logical plan: a left-deep join tree over the
+// FROM tables using equi-join conjuncts from WHERE, the remaining predicate
+// as a Filter, then aggregation or projection.
+func (q *Query) Plan(cat *plan.Catalog) (plan.Node, error) {
+	scans := map[string]plan.Node{}
+	colToTable := map[string]string{}
+	for _, t := range q.Tables {
+		sc, err := plan.NewScan(cat, t)
+		if err != nil {
+			return nil, err
+		}
+		scans[t] = sc
+		for _, c := range sc.Schema().Columns() {
+			colToTable[c.Name] = t
+		}
+	}
+
+	// Split WHERE into join conditions (col = col across tables) and the
+	// residual filter.
+	type joinCond struct{ lt, lc, rt, rc string }
+	var joins []joinCond
+	var residual []predicate.Predicate
+	for _, conj := range predicate.Conjuncts(q.Where) {
+		if cmp, ok := conj.(*predicate.Compare); ok && cmp.Op == predicate.CmpEQ {
+			lcol, lok := cmp.Left.(*predicate.ColumnRef)
+			rcol, rok := cmp.Right.(*predicate.ColumnRef)
+			if lok && rok {
+				lt, rt := colToTable[lcol.Name], colToTable[rcol.Name]
+				if lt != "" && rt != "" && lt != rt {
+					joins = append(joins, joinCond{lt, lcol.Name, rt, rcol.Name})
+					continue
+				}
+			}
+		}
+		residual = append(residual, conj)
+	}
+
+	// Left-deep join tree in FROM order.
+	joined := map[string]bool{q.Tables[0]: true}
+	root := scans[q.Tables[0]]
+	remaining := append([]joinCond(nil), joins...)
+	for range q.Tables[1:] {
+		found := false
+		for i, jc := range remaining {
+			var newTable, joinedCol, newCol string
+			switch {
+			case joined[jc.lt] && !joined[jc.rt]:
+				newTable, joinedCol, newCol = jc.rt, jc.lc, jc.rc
+			case joined[jc.rt] && !joined[jc.lt]:
+				newTable, joinedCol, newCol = jc.lt, jc.rc, jc.lc
+			default:
+				continue
+			}
+			root = &plan.Join{Left: root, Right: scans[newTable], LeftKey: joinedCol, RightKey: newCol}
+			joined[newTable] = true
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("sql: no join condition connects the remaining tables (cross joins are not supported)")
+		}
+	}
+	// Join conditions between already-joined tables become filters.
+	for _, jc := range remaining {
+		residual = append(residual, predicate.Cmp(predicate.CmpEQ,
+			predicate.Col(jc.lc, predicate.TypeInteger),
+			predicate.Col(jc.rc, predicate.TypeInteger)))
+	}
+
+	var node plan.Node = root
+	if len(residual) > 0 {
+		node = &plan.Filter{Pred: predicate.NewAnd(residual...), Input: node}
+	}
+	switch {
+	case len(q.GroupBy) > 0:
+		aggs := []engine.AggSpec{{Func: engine.AggCount, As: "count"}}
+		node = &plan.Aggregate{GroupBy: q.GroupBy, Aggs: aggs, Input: node}
+	case q.CountStar:
+		node = &plan.Aggregate{GroupBy: nil, Aggs: []engine.AggSpec{{Func: engine.AggCount, As: "count"}}, Input: node}
+	case q.SelectCols != nil:
+		node = &plan.Project{Cols: q.SelectCols, Input: node}
+	}
+	return node, nil
+}

@@ -1,0 +1,109 @@
+package svm
+
+import (
+	"math"
+	"math/big"
+)
+
+// Rationalize returns the best rational approximation of f with denominator
+// at most maxDen, computed with the Stern–Brocot / continued-fraction
+// method. Sia needs small exact coefficients: the SMT layer reasons over
+// exact rationals, and Cooper's elimination cost grows with coefficient
+// LCMs, so a float weight like 0.49999999 must become 1/2, not
+// 49999999/100000000.
+func Rationalize(f float64, maxDen int64) *big.Rat {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return new(big.Rat)
+	}
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	// Continued-fraction expansion with convergents p/q.
+	var (
+		p0, q0 = int64(0), int64(1)
+		p1, q1 = int64(1), int64(0)
+		x      = f
+	)
+	for i := 0; i < 64; i++ {
+		a := int64(math.Floor(x))
+		p2 := a*p1 + p0
+		q2 := a*q1 + q0
+		if q2 > maxDen || p2 < 0 || q2 < 0 { // overflow or bound hit
+			// Try the best semiconvergent that still fits.
+			if q1 > 0 {
+				k := (maxDen - q0) / q1
+				if k > 0 {
+					sp, sq := k*p1+p0, k*q1+q0
+					if better(f, sp, sq, p1, q1) {
+						p1, q1 = sp, sq
+					}
+				}
+			}
+			break
+		}
+		p0, q0, p1, q1 = p1, q1, p2, q2
+		frac := x - math.Floor(x)
+		if frac < 1e-12 {
+			break
+		}
+		x = 1 / frac
+	}
+	r := big.NewRat(p1, q1)
+	if neg {
+		r.Neg(r)
+	}
+	return r
+}
+
+// better reports whether p1/q1 approximates f at least as well as p2/q2.
+func better(f float64, p1, q1, p2, q2 int64) bool {
+	return math.Abs(f-float64(p1)/float64(q1)) <= math.Abs(f-float64(p2)/float64(q2))
+}
+
+// IntegerHyperplane converts a trained hyperplane (W, B) into exact integer
+// coefficients defining the same (approximate) half-plane
+//
+//	Σ coeffs[i]·xᵢ + c > 0.
+//
+// Weights are first normalized by the largest |W| entry (so relative
+// precision is uniform), rationalized with denominators at most maxDen, and
+// scaled by the LCM of denominators. The second return value is the
+// constant. Returns ok=false if every weight is zero.
+func IntegerHyperplane(w []float64, b float64, maxDen int64) (coeffs []*big.Int, c *big.Int, ok bool) {
+	norm := 0.0
+	for _, x := range w {
+		if a := math.Abs(x); a > norm {
+			norm = a
+		}
+	}
+	if norm == 0 {
+		return nil, nil, false
+	}
+	rats := make([]*big.Rat, len(w)+1)
+	for i, x := range w {
+		rats[i] = Rationalize(x/norm, maxDen)
+	}
+	rats[len(w)] = Rationalize(b/norm, maxDen)
+
+	lcm := big.NewInt(1)
+	for _, r := range rats {
+		d := r.Denom()
+		g := new(big.Int).GCD(nil, nil, lcm, d)
+		lcm.Div(lcm, g).Mul(lcm, d)
+	}
+	coeffs = make([]*big.Int, len(w))
+	allZero := true
+	for i := range w {
+		v := new(big.Rat).Mul(rats[i], new(big.Rat).SetInt(lcm))
+		coeffs[i] = new(big.Int).Set(v.Num())
+		if coeffs[i].Sign() != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		return nil, nil, false
+	}
+	cv := new(big.Rat).Mul(rats[len(w)], new(big.Rat).SetInt(lcm))
+	return coeffs, new(big.Int).Set(cv.Num()), true
+}

@@ -1,0 +1,235 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainSeparable2D(t *testing.T) {
+	// Points above the line y = x are positive.
+	var ex []Example
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		x := r.Float64()*20 - 10
+		y := r.Float64()*20 - 10
+		if math.Abs(y-x) < 0.5 {
+			continue // margin
+		}
+		lbl := -1.0
+		if y > x {
+			lbl = 1.0
+		}
+		ex = append(ex, Example{X: []float64{x, y}, Y: lbl})
+	}
+	m, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ex {
+		if (m.Score(e.X) > 0) != (e.Y > 0) {
+			t.Fatalf("misclassified %v (score %f)", e, m.Score(e.X))
+		}
+	}
+	// The hyperplane should be close to y - x = 0: w ~ (-1, 1)*k, b ~ 0.
+	if m.W[1] <= 0 || m.W[0] >= 0 {
+		t.Fatalf("unexpected weight signs: %+v", m)
+	}
+	ratio := -m.W[0] / m.W[1]
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("hyperplane slope off: w=%v ratio=%f", m.W, ratio)
+	}
+}
+
+func TestTrainPaperFirstIteration(t *testing.T) {
+	// §3.2 of the paper: initial TRUE samples (-5,1) (2,-6) (-27,-44)
+	// (-28,-46) (-7,-1); FALSE samples (-40,-2) (-56,-2) (-53,-2) (-48,-2).
+	// These are linearly separable; any correct separator must classify
+	// all TRUE samples positive.
+	ex := []Example{
+		{X: []float64{-5, 1}, Y: 1},
+		{X: []float64{2, -6}, Y: 1},
+		{X: []float64{-27, -44}, Y: 1},
+		{X: []float64{-28, -46}, Y: 1},
+		{X: []float64{-7, -1}, Y: 1},
+		{X: []float64{-40, -2}, Y: -1},
+		{X: []float64{-56, -2}, Y: -1},
+		{X: []float64{-53, -2}, Y: -1},
+		{X: []float64{-48, -2}, Y: -1},
+	}
+	m, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc := m.Misclassified(ex); len(mc) != 0 {
+		t.Fatalf("separable set misclassified: %v (model %+v)", mc, m)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	ex := []Example{
+		{X: []float64{1, 2}, Y: 1},
+		{X: []float64{-1, -2}, Y: -1},
+		{X: []float64{3, 1}, Y: 1},
+		{X: []float64{-2, 0}, Y: -1},
+	}
+	a, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatalf("training is not deterministic: %v vs %v", a.W, b.W)
+		}
+	}
+	if a.B != b.B {
+		t.Fatalf("bias differs: %v vs %v", a.B, b.B)
+	}
+}
+
+func TestTrainNonSeparable(t *testing.T) {
+	// XOR-ish pattern cannot be linearly separated; Train must still
+	// return a finite model without error.
+	ex := []Example{
+		{X: []float64{0, 0}, Y: 1},
+		{X: []float64{1, 1}, Y: 1},
+		{X: []float64{0, 1}, Y: -1},
+		{X: []float64{1, 0}, Y: -1},
+	}
+	m, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range append(append([]float64{}, m.W...), m.B) {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("non-finite weight: %+v", m)
+		}
+	}
+	if mc := m.Misclassified(ex); len(mc) == 0 {
+		t.Fatal("XOR cannot be linearly separated; someone must be misclassified")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Options{}); err == nil {
+		t.Fatal("empty set should error")
+	}
+	if _, err := Train([]Example{{X: []float64{1}, Y: 0.5}}, Options{}); err == nil {
+		t.Fatal("bad label should error")
+	}
+	if _, err := Train([]Example{{X: []float64{1}, Y: 1}, {X: []float64{1, 2}, Y: -1}}, Options{}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+}
+
+func TestTrainLargeScaleFeatures(t *testing.T) {
+	// Date-like features in the thousands must not break conditioning.
+	var ex []Example
+	for d := int64(0); d < 40; d++ {
+		lbl := -1.0
+		if d > 20 {
+			lbl = 1.0
+		}
+		ex = append(ex, Example{X: []float64{float64(d * 100)}, Y: lbl})
+	}
+	m, err := Train(ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc := m.Misclassified(ex); len(mc) != 0 {
+		t.Fatalf("threshold split misclassified %d samples", len(mc))
+	}
+}
+
+func TestRationalizeExact(t *testing.T) {
+	cases := []struct {
+		f    float64
+		den  int64
+		want string
+	}{
+		{0.5, 100, "1/2"},
+		{-0.5, 100, "-1/2"},
+		{0.3333333333333333, 100, "1/3"},
+		{2.0, 100, "2"},
+		{0, 100, "0"},
+		{0.49999999, 100, "1/2"},
+		{1.25, 100, "5/4"},
+		{-7.0 / 3.0, 100, "-7/3"},
+	}
+	for _, c := range cases {
+		got := Rationalize(c.f, c.den)
+		if got.RatString() != c.want {
+			t.Errorf("Rationalize(%v, %d) = %s, want %s", c.f, c.den, got.RatString(), c.want)
+		}
+	}
+}
+
+func TestRationalizeBounds(t *testing.T) {
+	// Property: the result's denominator never exceeds the bound and the
+	// approximation error is at most 1/maxDen (guaranteed for best
+	// rational approximations it is at most 1/(den·maxDen)).
+	f := func(num int16, den uint8) bool {
+		d := int64(den%50) + 1
+		x := float64(num) / 97.0
+		r := Rationalize(x, d)
+		if r.Denom().Int64() > d {
+			return false
+		}
+		fr, _ := r.Float64()
+		return math.Abs(fr-x) <= 1.0/float64(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRationalizeNonFinite(t *testing.T) {
+	if Rationalize(math.NaN(), 10).Sign() != 0 {
+		t.Fatal("NaN should rationalize to 0")
+	}
+	if Rationalize(math.Inf(1), 10).Sign() != 0 {
+		t.Fatal("Inf should rationalize to 0")
+	}
+}
+
+func TestIntegerHyperplane(t *testing.T) {
+	w := []float64{2.0, -1.0}
+	b := 0.5
+	coeffs, c, ok := IntegerHyperplane(w, b, 64)
+	if !ok {
+		t.Fatal("expected ok")
+	}
+	// Normalized by max |w| = 2: (1, -1/2, 1/4) -> LCM 4 -> (4, -2, 1).
+	if coeffs[0].Int64() != 4 || coeffs[1].Int64() != -2 || c.Int64() != 1 {
+		t.Fatalf("got %v + %v", coeffs, c)
+	}
+	// The integer hyperplane must define the same half-plane.
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i%10 - 5), float64(i%7 - 3)}
+		orig := w[0]*x[0] + w[1]*x[1] + b
+		scaled := float64(coeffs[0].Int64())*x[0] + float64(coeffs[1].Int64())*x[1] + float64(c.Int64())
+		if (orig > 0) != (scaled > 0) && math.Abs(orig) > 1e-9 {
+			t.Fatalf("half-plane changed at %v: %f vs %f", x, orig, scaled)
+		}
+	}
+	if _, _, ok := IntegerHyperplane([]float64{0, 0}, 1, 64); ok {
+		t.Fatal("all-zero weights should not be ok")
+	}
+}
+
+func TestIntegerHyperplaneSmallCoeffs(t *testing.T) {
+	// Near-rational weights should produce small integers, keeping the
+	// downstream Cooper elimination cheap.
+	coeffs, c, ok := IntegerHyperplane([]float64{0.9999999, -2.0000001}, 31.999999, 64)
+	if !ok {
+		t.Fatal("expected ok")
+	}
+	if coeffs[0].Int64() != 1 || coeffs[1].Int64() != -2 || c.Int64() != 32 {
+		t.Fatalf("expected (1, -2, 32), got (%v, %v)", coeffs, c)
+	}
+}

@@ -1,0 +1,82 @@
+package tpch
+
+import (
+	"testing"
+
+	"sia/internal/predicate"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	o1, l1 := Generate(Config{ScaleFactor: 0.01})
+	o2, l2 := Generate(Config{ScaleFactor: 0.01})
+	if o1.NumRows() != o2.NumRows() || l1.NumRows() != l2.NumRows() {
+		t.Fatal("generation is not deterministic in row counts")
+	}
+	for i := 0; i < o1.NumRows(); i += 7 {
+		if o1.Value(i, "o_orderdate").Int != o2.Value(i, "o_orderdate").Int {
+			t.Fatal("generation is not deterministic in values")
+		}
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	o, l := Generate(Config{ScaleFactor: 0.02})
+	wantOrders := int(float64(BaseOrders) * 0.02)
+	if o.NumRows() != wantOrders {
+		t.Fatalf("orders = %d, want %d", o.NumRows(), wantOrders)
+	}
+	// TPC-H averages 4 lineitems per order (1..7 uniform).
+	ratio := float64(l.NumRows()) / float64(o.NumRows())
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("lineitem/order ratio = %f, want ~4", ratio)
+	}
+}
+
+func TestGenerateDateCorrelations(t *testing.T) {
+	// The spec's clause 4.2.3 correlations must hold row by row.
+	o, l := Generate(Config{ScaleFactor: 0.02})
+	orderDates := map[int64]int64{}
+	for i := 0; i < o.NumRows(); i++ {
+		orderDates[o.Value(i, "o_orderkey").Int] = o.Value(i, "o_orderdate").Int
+		od := o.Value(i, "o_orderdate").Int
+		if od < predicate.DateToDays(1992, 1, 1) || od > predicate.DateToDays(1998, 12, 31)-151 {
+			t.Fatalf("o_orderdate out of window: %s", predicate.FormatDate(od))
+		}
+	}
+	for i := 0; i < l.NumRows(); i++ {
+		key := l.Value(i, "l_orderkey").Int
+		od, ok := orderDates[key]
+		if !ok {
+			t.Fatalf("lineitem %d references missing order %d", i, key)
+		}
+		ship := l.Value(i, "l_shipdate").Int
+		commit := l.Value(i, "l_commitdate").Int
+		receipt := l.Value(i, "l_receiptdate").Int
+		if d := ship - od; d < 1 || d > 121 {
+			t.Fatalf("l_shipdate - o_orderdate = %d, want [1,121]", d)
+		}
+		if d := commit - od; d < 30 || d > 90 {
+			t.Fatalf("l_commitdate - o_orderdate = %d, want [30,90]", d)
+		}
+		if d := receipt - ship; d < 1 || d > 30 {
+			t.Fatalf("l_receiptdate - l_shipdate = %d, want [1,30]", d)
+		}
+		q := l.Value(i, "l_quantity").Int
+		if q < 1 || q > 50 {
+			t.Fatalf("l_quantity = %d", q)
+		}
+	}
+}
+
+func TestSchemasNotNull(t *testing.T) {
+	for _, s := range []*predicate.Schema{OrdersSchema(), LineitemSchema(), JoinSchema()} {
+		for _, c := range s.Columns() {
+			if !c.NotNull {
+				t.Fatalf("TPC-H column %s must be NOT NULL", c.Name)
+			}
+		}
+	}
+	if len(JoinSchema().Columns()) != len(OrdersSchema().Columns())+len(LineitemSchema().Columns()) {
+		t.Fatal("join schema lost columns")
+	}
+}
