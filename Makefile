@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build vet test race lint fuzz-smoke check clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/sialint ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
+
+# check is the full CI gate: everything must pass before merging.
+check: build vet race lint
+
+clean:
+	$(GO) clean ./...

@@ -17,7 +17,7 @@ import (
 	"sia/internal/engine"
 	"sia/internal/experiments"
 	"sia/internal/maxcompute"
-	"sia/internal/predicate"
+	"sia/internal/predtest"
 	"sia/internal/tpch"
 )
 
@@ -250,8 +250,8 @@ func denName(d int64) string {
 // data, the substrate cost underlying Fig. 9.
 func BenchmarkEngineJoin(b *testing.B) {
 	orders, lineitem := tpch.Generate(tpch.Config{ScaleFactor: 1})
-	oPred := predicate.MustParse("o_orderdate < DATE '1993-06-01'", tpch.OrdersSchema())
-	liPred := predicate.MustParse("l_shipdate < DATE '1993-06-20'", tpch.LineitemSchema())
+	oPred := predtest.MustParse("o_orderdate < DATE '1993-06-01'", tpch.OrdersSchema())
+	liPred := predtest.MustParse("l_shipdate < DATE '1993-06-20'", tpch.LineitemSchema())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, _, err := engine.HashJoinWhere(lineitem, orders, "l_orderkey", "o_orderkey", liPred, oPred)

@@ -1,0 +1,71 @@
+// Command sialint runs Sia's project-specific static-analysis suite over
+// the module's packages. It is stdlib-only (go/ast, go/parser, go/types)
+// and enforces invariants the compiler cannot:
+//
+//	exhaustive-switch  type switches over predicate.Expr, predicate.Predicate
+//	                   and smt.Formula cover every AST node or declare a default
+//	tribool-misuse     three-valued logic is never silently collapsed to bool
+//	no-panic           library panics are package-prefixed dispatch panics only
+//	hygiene            no copied sync types or defers inside hot loops
+//
+// Usage:
+//
+//	sialint [packages]
+//
+// where packages are Go package patterns relative to the working directory
+// ("./...", "./internal/...", "./cmd/sia"). With no arguments, ./... is
+// assumed. Findings print as file:line:col: [analyzer] message; the exit
+// status is 1 when any finding is reported and 2 on a load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sia/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sialint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := analysis.DefaultConfig()
+	analyzers := analysis.Analyzers(cfg)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sialint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := analysis.Run(pkgs, analyzers, cfg)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos
+		if cwd != "" {
+			if rel, rerr := filepath.Rel(cwd, pos.Filename); rerr == nil && !filepath.IsAbs(rel) {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sialint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,16 @@ import (
 	"sia/internal/tpch"
 )
 
+// parse parses a static predicate, exiting on error: the example's inputs
+// are fixed strings, so a parse failure is a bug in the example itself.
+func parse(input string, schema *predicate.Schema) predicate.Predicate {
+	p, err := predicate.Parse(input, schema)
+	if err != nil {
+		log.Fatalf("optimizer_pushdown: %v", err)
+	}
+	return p
+}
+
 func main() {
 	orders, lineitem := tpch.Generate(tpch.Config{ScaleFactor: 0.5})
 	cat := plan.NewCatalog()
@@ -24,7 +34,7 @@ func main() {
 	schema := tpch.JoinSchema()
 
 	fmt.Println("== 1. Pushdown below a join ==")
-	pred := predicate.MustParse(
+	pred := parse(
 		"o_orderdate < DATE '1994-01-01' AND l_shipdate < DATE '1994-06-01' AND l_shipdate - o_orderdate < 60",
 		schema)
 	li, _ := plan.NewScan(cat, "lineitem")
@@ -43,7 +53,7 @@ func main() {
 		Aggs:    []engine.AggSpec{{Func: engine.AggCount, As: "items"}, {Func: engine.AggSum, Col: "l_quantity", As: "qty"}},
 		Input:   li,
 	}
-	groupFilter := predicate.MustParse("l_orderkey < 1000", tpch.LineitemSchema())
+	groupFilter := parse("l_orderkey < 1000", tpch.LineitemSchema())
 	aggPlan := &plan.Filter{Pred: groupFilter, Input: agg}
 	fmt.Println("before:")
 	fmt.Print(plan.Explain(aggPlan))
@@ -51,17 +61,17 @@ func main() {
 	fmt.Print(plan.Explain(plan.PushDownFilters(aggPlan)))
 
 	fmt.Println("== 3. Constant propagation ==")
-	cp := predicate.MustParse("l_quantity = 5 AND l_quantity + l_extendedprice > 20", tpch.LineitemSchema())
+	cp := parse("l_quantity = 5 AND l_quantity + l_extendedprice > 20", tpch.LineitemSchema())
 	fmt.Printf("before: %v\nafter:  %v\n\n", cp, plan.ConstantPropagation(cp))
 
 	fmt.Println("== 4. Transitive closure (the paper's syntax-driven baseline) ==")
-	tc := predicate.MustParse(
+	tc := parse(
 		"l_shipdate - o_orderdate <= 19 AND o_orderdate <= DATE '1993-05-31'", schema)
 	derived := plan.TransitiveClosureReduce(tc, []string{"l_shipdate"})
 	fmt.Printf("from:    %v\nderived: %v\n", tc, derived)
 	fmt.Println("\nBut give it the arithmetic form from the paper's §2 and it derives nothing")
 	fmt.Println("(coefficients != ±1 are outside the difference-constraint fragment):")
-	hard := predicate.MustParse(
+	hard := parse(
 		"l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10 AND o_orderdate < DATE '1993-06-01'", schema)
 	if got := plan.TransitiveClosureReduce(hard, []string{"l_commitdate", "l_shipdate"}); got == nil {
 		fmt.Println("derived: <nothing> — this is the gap Sia's learned predicates fill")

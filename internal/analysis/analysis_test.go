@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one of the mini-modules under testdata/.
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", name), []string{"./..."})
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", name)
+	}
+	return pkgs
+}
+
+// runOne runs a single analyzer over a fixture and returns its findings.
+func runOne(t *testing.T, fixture string, cfg *Config, a *Analyzer) []Finding {
+	t.Helper()
+	pkgs := loadFixture(t, fixture)
+	return Run(pkgs, []*Analyzer{a}, cfg)
+}
+
+// wantFindings asserts the exact count and that each expected substring
+// appears in some finding message.
+func wantFindings(t *testing.T, got []Finding, n int, substrs ...string) {
+	t.Helper()
+	if len(got) != n {
+		for _, f := range got {
+			t.Logf("  %s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+		}
+		t.Fatalf("got %d findings, want %d", len(got), n)
+	}
+	for _, want := range substrs {
+		found := false
+		for _, f := range got {
+			if strings.Contains(f.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, f := range got {
+				t.Logf("  %s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+			}
+			t.Errorf("no finding mentions %q", want)
+		}
+	}
+}
+
+func TestExhaustiveSwitchGood(t *testing.T) {
+	cfg := &Config{SwitchInterfaces: []string{"exgood.Node"}}
+	got := runOne(t, "exhaustive_good", cfg, ExhaustiveSwitch(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestExhaustiveSwitchBad(t *testing.T) {
+	cfg := &Config{SwitchInterfaces: []string{"exbad.Node"}}
+	got := runOne(t, "exhaustive_bad", cfg, ExhaustiveSwitch(cfg))
+	wantFindings(t, got, 1, "*exbad.Leaf")
+}
+
+func triCfg(mod string) *Config {
+	return &Config{
+		TriBoolType: mod + "/tri.TriBool",
+		TrueName:    "True",
+		FalseName:   "False",
+		TriBoolPkg:  mod + "/tri",
+	}
+}
+
+func TestTriBoolMisuseGood(t *testing.T) {
+	cfg := triCfg("tbgood")
+	got := runOne(t, "tribool_good", cfg, TriBoolMisuse(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestTriBoolMisuseBad(t *testing.T) {
+	cfg := triCfg("tbbad")
+	got := runOne(t, "tribool_bad", cfg, TriBoolMisuse(cfg))
+	wantFindings(t, got, 4, "Unknown", "conversion")
+}
+
+func TestNoPanicGood(t *testing.T) {
+	cfg := &Config{LibraryPrefixes: []string{"npgood/internal/"}}
+	got := runOne(t, "nopanic_good", cfg, NoPanicInLibrary(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestNoPanicBad(t *testing.T) {
+	cfg := &Config{LibraryPrefixes: []string{"npbad/internal/"}}
+	got := runOne(t, "nopanic_bad", cfg, NoPanicInLibrary(cfg))
+	wantFindings(t, got, 2, "panic")
+}
+
+func TestHygieneGood(t *testing.T) {
+	cfg := &Config{HygienePackages: []string{"hygood/engine"}}
+	got := runOne(t, "hygiene_good", cfg, Hygiene(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestHygieneBad(t *testing.T) {
+	cfg := &Config{HygienePackages: []string{"hybad/engine"}}
+	got := runOne(t, "hygiene_bad", cfg, Hygiene(cfg))
+	wantFindings(t, got, 5, "defer", "range", "sync")
+}
+
+// TestRepoIsClean runs every analyzer with the default configuration over
+// the repository itself — the same invocation cmd/sialint performs — and
+// expects zero findings. A regression here means new code violated one of
+// the enforced invariants.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := Load(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	cfg := DefaultConfig()
+	got := Run(pkgs, Analyzers(cfg), cfg)
+	for _, f := range got {
+		t.Errorf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveSwitch enforces that every type switch over one of the
+// configured AST interfaces (predicate.Expr, predicate.Predicate,
+// smt.Formula) either lists every concrete implementation found in the
+// loaded package graph or carries an explicit default clause. The interface
+// hierarchies are dispatched by dozens of type switches that panic on
+// unknown variants, so a new AST node added without updating a switch
+// compiles silently and crashes at runtime; this analyzer turns that hole
+// into a lint failure.
+func ExhaustiveSwitch(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "exhaustive-switch",
+		Doc:  "type switches over Sia's AST interfaces must cover every implementation or have a default",
+		Run: func(pass *Pass) {
+			targets := resolveSwitchTargets(pass.All, cfg.SwitchInterfaces)
+			if len(targets) == 0 {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					sw, ok := n.(*ast.TypeSwitchStmt)
+					if !ok {
+						return true
+					}
+					pass.checkTypeSwitch(sw, targets)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// switchTarget is one interface to enforce, with its implementation set
+// collected across the whole package graph.
+type switchTarget struct {
+	name  string // qualified interface name, for messages
+	iface *types.Named
+	impls []implType
+}
+
+// implType is one concrete implementation of a target interface, in the
+// form a case clause would name it (*T for pointer-receiver
+// implementations, T otherwise).
+type implType struct {
+	typ  types.Type
+	name string
+}
+
+// resolveSwitchTargets resolves the configured interface names and collects
+// their implementations from every loaded package.
+func resolveSwitchTargets(all []*Package, names []string) []switchTarget {
+	var targets []switchTarget
+	for _, qualified := range names {
+		named := lookupNamed(all, qualified)
+		if named == nil {
+			continue
+		}
+		iface, ok := named.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		t := switchTarget{name: qualified, iface: named}
+		seen := map[string]bool{}
+		for _, pkg := range all {
+			if pkg.Types == nil {
+				continue
+			}
+			scope := pkg.Types.Scope()
+			for _, objName := range scope.Names() {
+				tn, ok := scope.Lookup(objName).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				obj := tn.Type()
+				if types.IsInterface(obj) {
+					continue
+				}
+				var impl types.Type
+				switch {
+				case types.Implements(obj, iface):
+					impl = obj
+				case types.Implements(types.NewPointer(obj), iface):
+					impl = types.NewPointer(obj)
+				default:
+					continue
+				}
+				label := relativeName(impl)
+				if !seen[label] {
+					seen[label] = true
+					t.impls = append(t.impls, implType{typ: impl, name: label})
+				}
+			}
+		}
+		sort.Slice(t.impls, func(i, j int) bool { return t.impls[i].name < t.impls[j].name })
+		targets = append(targets, t)
+	}
+	return targets
+}
+
+// relativeName renders an implementation type as "pkg.T" or "*pkg.T" using
+// the final import path element as qualifier.
+func relativeName(t types.Type) string {
+	qual := func(p *types.Package) string {
+		parts := strings.Split(p.Path(), "/")
+		return parts[len(parts)-1]
+	}
+	return types.TypeString(t, qual)
+}
+
+// checkTypeSwitch reports implementations missing from a default-less type
+// switch over a target interface.
+func (pass *Pass) checkTypeSwitch(sw *ast.TypeSwitchStmt, targets []switchTarget) {
+	subject := typeSwitchSubject(sw)
+	if subject == nil {
+		return
+	}
+	subjType := pass.Pkg.Info.Types[subject].Type
+	if subjType == nil {
+		return
+	}
+	var target *switchTarget
+	for i := range targets {
+		if types.Identical(subjType, targets[i].iface) {
+			target = &targets[i]
+			break
+		}
+	}
+	if target == nil {
+		return
+	}
+	var covered []types.Type
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // explicit default: the switch opts out of exhaustiveness
+		}
+		for _, texpr := range clause.List {
+			tv, ok := pass.Pkg.Info.Types[texpr]
+			if !ok || tv.Type == nil {
+				continue // e.g. "case nil:"
+			}
+			covered = append(covered, tv.Type)
+		}
+	}
+	var missing []string
+	for _, impl := range target.impls {
+		found := false
+		for _, c := range covered {
+			if types.Identical(c, impl.typ) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, impl.name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "type switch over %s is missing %s and has no default clause",
+			target.name, strings.Join(missing, ", "))
+	}
+}
+
+// typeSwitchSubject extracts the expression whose dynamic type the switch
+// inspects: e in both "switch e.(type)" and "switch x := e.(type)".
+func typeSwitchSubject(sw *ast.TypeSwitchStmt) ast.Expr {
+	var assertion ast.Expr
+	switch s := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		assertion = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assertion = s.Rhs[0]
+		}
+	}
+	ta, ok := assertion.(*ast.TypeAssertExpr)
+	if !ok {
+		return nil
+	}
+	return ta.X
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hygiene enforces two hot-path rules in the configured packages (the
+// execution engine and the SMT solver, where per-row and per-node work
+// dominates): sync primitives must never be copied by value (a copied
+// mutex silently forks its lock state), and defer must not appear lexically
+// inside a loop body (each iteration queues another deferred call that only
+// runs at function exit — an accumulating cost and a classic
+// resource-release bug in row loops). A defer inside a function literal is
+// fine even when the literal sits in a loop: the deferred call runs when
+// the literal returns.
+func Hygiene(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "hygiene",
+		Doc:  "no copied sync types and no defer inside loops in hot-path packages",
+		Run: func(pass *Pass) {
+			if !stringIn(pass.Pkg.Path, cfg.HygienePackages) {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				pass.checkDeferInLoops(file, 0)
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.FuncDecl:
+						pass.checkFuncSig(x.Recv, x.Type)
+					case *ast.FuncLit:
+						pass.checkFuncSig(nil, x.Type)
+					case *ast.RangeStmt:
+						pass.checkRangeCopies(x)
+					case *ast.AssignStmt:
+						pass.checkAssignCopies(x)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func stringIn(s string, set []string) bool {
+	for _, x := range set {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeferInLoops walks a statement tree tracking lexical loop depth.
+// Function literals reset the depth: their defers run at the literal's own
+// return.
+func (pass *Pass) checkDeferInLoops(n ast.Node, depth int) {
+	switch x := n.(type) {
+	case nil:
+		return
+	case *ast.DeferStmt:
+		if depth > 0 {
+			pass.Reportf(x.Pos(), "defer inside a loop runs only at function exit; hoist it or wrap the body in a function")
+		}
+		pass.checkDeferInLoops(x.Call, depth)
+		return
+	case *ast.ForStmt:
+		pass.checkDeferInLoops(x.Body, depth+1)
+		return
+	case *ast.RangeStmt:
+		pass.checkDeferInLoops(x.Body, depth+1)
+		return
+	case *ast.FuncLit:
+		pass.checkDeferInLoops(x.Body, 0)
+		return
+	}
+	// Generic recursion over any other node's children.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		switch child.(type) {
+		case *ast.DeferStmt, *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			pass.checkDeferInLoops(child, depth)
+			return false
+		}
+		return true
+	})
+}
+
+// checkFuncSig flags receivers, parameters, and results that pass a
+// lock-containing type by value.
+func (pass *Pass) checkFuncSig(recv *ast.FieldList, ftype *ast.FuncType) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.Pkg.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if lock := lockIn(t); lock != "" {
+				pass.Reportf(field.Pos(), "%s passes %s by value, copying its %s; use a pointer", kind, t, lock)
+			}
+		}
+	}
+	check(recv, "receiver")
+	if ftype != nil {
+		check(ftype.Params, "parameter")
+		check(ftype.Results, "result")
+	}
+}
+
+// checkRangeCopies flags range statements whose value variable copies a
+// lock-containing element.
+func (pass *Pass) checkRangeCopies(rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	t := pass.Pkg.Info.TypeOf(rng.Value)
+	if t == nil {
+		return
+	}
+	if lock := lockIn(t); lock != "" {
+		pass.Reportf(rng.Value.Pos(), "range value copies %s, which contains %s; iterate by index or over pointers", t, lock)
+	}
+}
+
+// checkAssignCopies flags assignments that copy an existing lock-containing
+// value (reads of variables, fields, derefs, or elements — not composite
+// literals or call results, which construct fresh values).
+func (pass *Pass) checkAssignCopies(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if ident, ok := rhs.(*ast.Ident); ok {
+			if obj, isUse := pass.Pkg.Info.Uses[ident]; !isUse || obj == nil {
+				continue
+			} else if _, isVar := obj.(*types.Var); !isVar {
+				continue
+			}
+		}
+		t := pass.Pkg.Info.Types[rhs].Type
+		if t == nil {
+			continue
+		}
+		if lock := lockIn(t); lock != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies %s, which contains %s; use a pointer", t, lock)
+		}
+	}
+}
+
+// lockIn returns the name of the sync primitive a value of type t would
+// copy, or "" if t is copy-safe. Pointers, slices, maps, channels, and
+// interfaces share rather than copy their referents.
+func lockIn(t types.Type) string {
+	return lockInRec(t, map[types.Type]bool{})
+}
+
+func lockInRec(t types.Type, seen map[types.Type]bool) string {
+	t = types.Unalias(t)
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockInRec(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockInRec(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInRec(u.Elem(), seen)
+	}
+	return ""
+}

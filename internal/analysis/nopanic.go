@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NoPanicInLibrary restricts panics in library packages (the configured
+// path prefixes, by default sia/internal/...) to unreachable-dispatch
+// panics: the argument must be a message that identifies its origin by
+// starting with "<package>: " (a string literal, a string concatenation, or
+// a fmt.Sprintf/fmt.Errorf whose format does). Anything else — panic(err),
+// panic on a reachable input-dependent path — must be converted to a
+// returned error. The convention makes every allowed panic greppable and
+// self-attributing, and stops real failure paths from hiding behind a
+// panic in code that serves traffic.
+func NoPanicInLibrary(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "no-panic",
+		Doc:  "library panics must be unreachable-dispatch panics prefixed with the package name",
+		Run: func(pass *Pass) {
+			if !hasAnyPrefix(pass.Pkg.Path, cfg.LibraryPrefixes) {
+				return
+			}
+			prefixes := append([]string{pass.Pkg.Name}, cfg.ExtraPanicPrefixes...)
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 {
+						return true
+					}
+					if !pass.isBuiltin(call.Fun, "panic") {
+						return true
+					}
+					if !pass.panicMessageHasPrefix(call.Args[0], prefixes) {
+						pass.Reportf(call.Pos(),
+							"panic in library package %s must carry a %q-prefixed dispatch message or be converted to a returned error",
+							pass.Pkg.Path, pass.Pkg.Name+": ")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func hasAnyPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether fun denotes the named predeclared function.
+func (pass *Pass) isBuiltin(fun ast.Expr, name string) bool {
+	ident, ok := fun.(*ast.Ident)
+	if !ok || ident.Name != name {
+		return false
+	}
+	obj, ok := pass.Pkg.Info.Uses[ident]
+	if !ok {
+		return false
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// panicMessageHasPrefix reports whether the panic argument is a message
+// whose leading string literal starts with any of "<prefix>:".
+func (pass *Pass) panicMessageHasPrefix(arg ast.Expr, prefixes []string) bool {
+	lit := ""
+	if tv, ok := pass.Pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		lit = constant.StringVal(tv.Value)
+	} else {
+		lit = leadingStringLiteral(arg)
+	}
+	if lit == "" {
+		return false
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(lit, p+":") {
+			return true
+		}
+	}
+	return false
+}
+
+// leadingStringLiteral digs out the leftmost string literal of a panic
+// message: a plain literal, the left end of a + concatenation chain, or the
+// format argument of a call such as fmt.Sprintf or fmt.Errorf.
+func leadingStringLiteral(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(x.Value)
+		if err != nil {
+			return ""
+		}
+		return s
+	case *ast.BinaryExpr:
+		return leadingStringLiteral(x.X)
+	case *ast.ParenExpr:
+		return leadingStringLiteral(x.X)
+	case *ast.CallExpr:
+		if len(x.Args) == 0 {
+			return ""
+		}
+		return leadingStringLiteral(x.Args[0])
+	}
+	return ""
+}

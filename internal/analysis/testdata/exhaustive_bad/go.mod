@@ -1,0 +1,3 @@
+module exbad
+
+go 1.22

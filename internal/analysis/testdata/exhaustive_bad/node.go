@@ -1,0 +1,23 @@
+// Package exbad is a known-bad corpus for the exhaustive-switch analyzer:
+// walk.go dispatches over Node without covering Leaf and without a
+// default, the exact shape that crashes at runtime when a new AST node is
+// added.
+package exbad
+
+// Node is the AST interface the analyzer is pointed at.
+type Node interface{ node() }
+
+// Add is a binary node.
+type Add struct{ L, R Node }
+
+func (*Add) node() {}
+
+// Neg is a unary node.
+type Neg struct{ X Node }
+
+func (*Neg) node() {}
+
+// Leaf is a terminal node — the one Count forgets.
+type Leaf struct{ V int }
+
+func (*Leaf) node() {}

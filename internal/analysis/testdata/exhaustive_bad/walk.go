@@ -1,0 +1,12 @@
+package exbad
+
+// Count misses *Leaf and has no default clause: the analyzer must flag it.
+func Count(n Node) int {
+	switch x := n.(type) {
+	case *Add:
+		return Count(x.L) + Count(x.R)
+	case *Neg:
+		return Count(x.X)
+	}
+	return 1
+}

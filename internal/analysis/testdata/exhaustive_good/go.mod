@@ -1,0 +1,3 @@
+module exgood
+
+go 1.22

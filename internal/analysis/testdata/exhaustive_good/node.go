@@ -1,0 +1,22 @@
+// Package exgood is a known-good corpus for the exhaustive-switch
+// analyzer: every type switch over Node either covers all three
+// implementations or declares an explicit default.
+package exgood
+
+// Node is the AST interface the analyzer is pointed at.
+type Node interface{ node() }
+
+// Add is a binary node.
+type Add struct{ L, R Node }
+
+func (*Add) node() {}
+
+// Neg is a unary node.
+type Neg struct{ X Node }
+
+func (*Neg) node() {}
+
+// Leaf is a terminal node.
+type Leaf struct{ V int }
+
+func (*Leaf) node() {}

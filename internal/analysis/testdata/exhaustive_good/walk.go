@@ -1,0 +1,28 @@
+package exgood
+
+// Count covers every Node implementation explicitly.
+func Count(n Node) int {
+	switch x := n.(type) {
+	case *Add:
+		return Count(x.L) + Count(x.R)
+	case *Neg:
+		return Count(x.X)
+	case *Leaf:
+		return 1
+	}
+	return 0
+}
+
+// Depth opts out of exhaustiveness with an explicit default.
+func Depth(n Node) int {
+	switch x := n.(type) {
+	case *Add:
+		l, r := Depth(x.L), Depth(x.R)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	default:
+		return 1
+	}
+}

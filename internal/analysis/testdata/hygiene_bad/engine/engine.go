@@ -1,0 +1,51 @@
+// Package engine is the known-bad corpus for the hygiene analyzer: copied
+// sync types and a defer queued inside a loop.
+package engine
+
+import (
+	"os"
+	"sync"
+)
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Locked takes the lock-bearing struct by value: the copy has its own
+// mutex. Must be flagged (parameter).
+func Locked(s state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// SumAll copies each element — and its mutex — into the range variable.
+// Must be flagged (range value).
+func SumAll(states []state) int {
+	total := 0
+	for _, s := range states {
+		total += s.n
+	}
+	return total
+}
+
+// ReadAll queues one deferred Close per iteration; none run until the
+// function returns. Must be flagged (defer in loop).
+func ReadAll(paths []string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	return nil
+}
+
+// Clone dereferences into a fresh copy of the lock. Must be flagged
+// (assignment copy); the by-value return is flagged too (result).
+func Clone(a *state) state {
+	b := *a
+	return b
+}

@@ -1,0 +1,3 @@
+module hybad
+
+go 1.22

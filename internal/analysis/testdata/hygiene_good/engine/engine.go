@@ -1,0 +1,59 @@
+// Package engine is the known-good corpus for the hygiene analyzer: locks
+// travel by pointer and defers sit outside loops (or inside function
+// literals, where they belong).
+package engine
+
+import (
+	"os"
+	"sync"
+)
+
+// Counter guards a count with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add locks through a pointer receiver.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// SumAll iterates over pointers, never copying the lock.
+func SumAll(cs []*Counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}
+
+// SumByIndex iterates a value slice by index, which also never copies.
+func SumByIndex(cs []Counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}
+
+// ReadAll closes each file before the next iteration by wrapping the body
+// in a function literal; the defer inside it is fine.
+func ReadAll(paths []string) error {
+	for _, p := range paths {
+		err := func() error {
+			f, ferr := os.Open(p)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

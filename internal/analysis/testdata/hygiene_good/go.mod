@@ -1,0 +1,3 @@
+module hygood
+
+go 1.22

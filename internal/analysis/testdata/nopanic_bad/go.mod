@@ -1,0 +1,3 @@
+module npbad
+
+go 1.22

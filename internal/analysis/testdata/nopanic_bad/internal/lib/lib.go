@@ -1,0 +1,28 @@
+// Package lib is the known-bad corpus for the no-panic analyzer: a
+// panic(err) hiding a real failure path and a dispatch panic with the
+// wrong prefix.
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Parse panics on a reachable input-dependent path: must be flagged.
+func Parse(s string) string {
+	if s == "" {
+		panic(errors.New("empty input"))
+	}
+	return s
+}
+
+// Name has an unreachable default, but the message prefix does not name
+// the package: must be flagged.
+func Name(k int) string {
+	switch k {
+	case 0:
+		return "zero"
+	default:
+		panic(fmt.Sprintf("dispatch: unknown kind %d", k))
+	}
+}

@@ -1,0 +1,3 @@
+module npgood
+
+go 1.22

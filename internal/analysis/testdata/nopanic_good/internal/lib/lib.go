@@ -1,0 +1,43 @@
+// Package lib is library code whose only panics are unreachable-dispatch
+// panics carrying the package prefix.
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind selects a dispatch arm.
+type Kind int
+
+const (
+	// KindZero is the only valid kind.
+	KindZero Kind = iota
+)
+
+// Name dispatches over Kind; the default arm is unreachable and says so
+// with a prefixed message.
+func Name(k Kind) string {
+	switch k {
+	case KindZero:
+		return "zero"
+	default:
+		panic(fmt.Sprintf("lib: unknown kind %d", int(k)))
+	}
+}
+
+// Parse returns its failure as an error, never a panic.
+func Parse(s string) (string, error) {
+	if s == "" {
+		return "", errors.New("lib: empty input")
+	}
+	return s, nil
+}
+
+// Join panics with a concatenated, still prefixed, message.
+func Join(ok bool) string {
+	if !ok {
+		panic("lib: invariant violated: " + "unexpected state")
+	}
+	return "ok"
+}

@@ -1,0 +1,14 @@
+// Command tool sits outside the library prefix: its panics are not
+// sialint's business.
+package main
+
+import "npgood/internal/lib"
+
+func main() {
+	s, err := lib.Parse("x")
+	if err != nil {
+		panic(err)
+	}
+	_ = s
+	_ = lib.Name(lib.KindZero)
+}

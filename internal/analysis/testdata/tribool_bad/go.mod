@@ -1,0 +1,3 @@
+module tbbad
+
+go 1.22

@@ -1,0 +1,15 @@
+// Package tri is the fixture three-valued logic type for the known-bad
+// corpus.
+package tri
+
+// TriBool is a Kleene truth value.
+type TriBool int8
+
+const (
+	// False is definite falsehood.
+	False TriBool = iota - 1
+	// Unknown is the NULL truth value.
+	Unknown
+	// True is definite truth.
+	True
+)

@@ -1,0 +1,3 @@
+module tbgood
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package tri is the fixture three-valued logic type: the analyzer's
+// TriBoolPkg, where conversions are legitimate.
+package tri
+
+// TriBool is a Kleene truth value.
+type TriBool int8
+
+const (
+	// False is definite falsehood.
+	False TriBool = iota - 1
+	// Unknown is the NULL truth value.
+	Unknown
+	// True is definite truth.
+	True
+)
+
+// FromInt decodes a stored truth value; conversions are allowed here, in
+// the home package.
+func FromInt(i int8) TriBool { return TriBool(i) }
+
+// Encode stores a truth value; likewise allowed here.
+func Encode(v TriBool) int8 { return int8(v) }

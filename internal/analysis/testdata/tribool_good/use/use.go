@@ -1,0 +1,28 @@
+// Package use consumes tri.TriBool correctly: collapses are justified and
+// Unknown is handled explicitly.
+package use
+
+import "tbgood/tri"
+
+// Accept collapses to bool deliberately and says so.
+func Accept(v tri.TriBool) bool {
+	// tribool: WHERE semantics — Unknown rejects the row like False.
+	return v == tri.True
+}
+
+// Describe handles all three truth values explicitly; switches are not
+// collapses.
+func Describe(v tri.TriBool) string {
+	switch v {
+	case tri.True:
+		return "true"
+	case tri.False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// IsUnknown compares against Unknown, which is explicit three-valued
+// handling, never a collapse.
+func IsUnknown(v tri.TriBool) bool { return v == tri.Unknown }

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TriBoolMisuse polices the boundary between SQL's three-valued logic and
+// Go's two-valued bool. Collapsing a TriBool to bool with `tv == True` (or
+// `tv != False`) silently conflates Unknown with False (or True) — the
+// exact NULL-semantics mistake Sia's verification under Kleene logic
+// exists to prevent. The collapse is sometimes the intended WHERE-clause
+// semantics, so a comparison accompanied by a "// tribool:" justification
+// comment on the same or preceding line is accepted. Conversions between
+// the TriBool type and bool or integer types are flagged unconditionally
+// outside the package that defines the logic.
+func TriBoolMisuse(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "tribool-misuse",
+		Doc:  "TriBool comparisons collapsing Unknown need a // tribool: justification; no numeric casts outside the home package",
+		Run: func(pass *Pass) {
+			named := lookupNamed(pass.All, cfg.TriBoolType)
+			if named == nil {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.BinaryExpr:
+						pass.checkTriBoolCompare(x, named, cfg)
+					case *ast.CallExpr:
+						pass.checkTriBoolConversion(x, named, cfg)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkTriBoolCompare flags == / != comparisons of a TriBool against the
+// True or False constants without a justification comment.
+func (pass *Pass) checkTriBoolCompare(e *ast.BinaryExpr, tri *types.Named, cfg *Config) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	lt, rt := info.Types[e.X].Type, info.Types[e.Y].Type
+	if lt == nil || rt == nil {
+		return
+	}
+	if !types.Identical(lt, tri) && !types.Identical(rt, tri) {
+		return
+	}
+	constName := ""
+	for _, operand := range []ast.Expr{e.X, e.Y} {
+		if name := pass.triBoolConstName(operand, tri, cfg); name != "" {
+			constName = name
+		}
+	}
+	if constName == "" {
+		return // tv == other tv, or comparison against Unknown: real 3VL
+	}
+	if pass.Pkg.commentedWith(e.Pos(), "tribool:") {
+		return
+	}
+	conflated := "Unknown with False"
+	if (constName == cfg.TrueName && e.Op == token.NEQ) || (constName == cfg.FalseName && e.Op == token.EQL) {
+		conflated = "Unknown with True"
+	}
+	pass.Reportf(e.Pos(), "comparison against %s collapses three-valued logic (conflates %s); justify with a // tribool: comment or handle Unknown explicitly",
+		constName, conflated)
+}
+
+// triBoolConstName returns the configured constant name (True/False) if the
+// expression is a use of that constant, and "" otherwise. Comparisons
+// against Unknown are deliberate three-valued handling and stay exempt.
+func (pass *Pass) triBoolConstName(e ast.Expr, tri *types.Named, cfg *Config) string {
+	var ident *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		ident = x
+	case *ast.SelectorExpr:
+		ident = x.Sel
+	default:
+		return ""
+	}
+	obj, ok := pass.Pkg.Info.Uses[ident]
+	if !ok {
+		return ""
+	}
+	cst, ok := obj.(*types.Const)
+	if !ok || !types.Identical(cst.Type(), tri) {
+		return ""
+	}
+	if cst.Name() == cfg.TrueName || cst.Name() == cfg.FalseName {
+		return cst.Name()
+	}
+	return ""
+}
+
+// checkTriBoolConversion flags conversions between TriBool and bool or
+// integer types outside the TriBool home package.
+func (pass *Pass) checkTriBoolConversion(call *ast.CallExpr, tri *types.Named, cfg *Config) {
+	if pass.Pkg.Path == cfg.TriBoolPkg {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	info := pass.Pkg.Info
+	funTV, ok := info.Types[call.Fun]
+	if !ok || !funTV.IsType() {
+		return
+	}
+	target := funTV.Type
+	argType := info.Types[call.Args[0]].Type
+	if argType == nil || types.Identical(target, argType) {
+		return
+	}
+	switch {
+	case types.Identical(target, tri) && isBoolOrInteger(argType):
+		pass.Reportf(call.Pos(), "conversion from %s to %s outside %s bypasses three-valued logic",
+			argType, tri.Obj().Name(), cfg.TriBoolPkg)
+	case types.Identical(argType, tri) && isBoolOrInteger(target):
+		pass.Reportf(call.Pos(), "conversion from %s to %s outside %s collapses three-valued logic",
+			tri.Obj().Name(), target, cfg.TriBoolPkg)
+	}
+}
+
+// isBoolOrInteger reports whether t's core type is bool or an integer kind.
+func isBoolOrInteger(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsBoolean|types.IsInteger) != 0
+}

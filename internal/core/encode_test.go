@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 	"sia/internal/smt"
 )
 
@@ -35,7 +36,7 @@ func TestEncodePlainMatchesEval(t *testing.T) {
 	}
 	solver := smt.New()
 	for _, src := range cases {
-		p := predicate.MustParse(src, s)
+		p := predtest.MustParse(src, s)
 		enc := newEncoder(s)
 		f, err := enc.Encode(p)
 		if err != nil {
@@ -68,7 +69,7 @@ func TestEncodeVirtualColumns(t *testing.T) {
 	s := intSchema("a", "b", "c")
 	// a*b is non-linear but a, b appear nowhere else: a virtual column
 	// stands in for the product (§5.2).
-	p := predicate.MustParse("a * b > 10 AND c < 5", s)
+	p := predtest.MustParse("a * b > 10 AND c < 5", s)
 	enc := newEncoder(s)
 	rw, err := enc.rewriteNonLinear(p)
 	if err != nil {
@@ -84,7 +85,7 @@ func TestEncodeVirtualColumns(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reusing the same product maps to the same virtual column.
-	p2 := predicate.MustParse("a * b > 10 AND a * b < 100", s)
+	p2 := predtest.MustParse("a * b > 10 AND a * b < 100", s)
 	enc2 := newEncoder(s)
 	rw2, err := enc2.rewriteNonLinear(p2)
 	if err != nil {
@@ -99,7 +100,7 @@ func TestEncodeNonLinearRejected(t *testing.T) {
 	s := intSchema("a", "b", "c")
 	// a occurs both inside the product and on its own: substitution
 	// would change semantics, so the predicate is unsupported.
-	p := predicate.MustParse("a * b > 10 AND a > 2", s)
+	p := predtest.MustParse("a * b > 10 AND a > 2", s)
 	enc := newEncoder(s)
 	if _, err := enc.rewriteNonLinear(p); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("expected ErrUnsupported, got %v", err)
@@ -118,8 +119,8 @@ func TestEncode3VLNullability(t *testing.T) {
 		{intSchema("a", "b"), true},
 		{nullableSchema("a", "b"), false},
 	} {
-		p := predicate.MustParse("a > 0 OR b = b", tc.schema)
-		cand := predicate.MustParse("a = a", tc.schema)
+		p := predtest.MustParse("a > 0 OR b = b", tc.schema)
+		cand := predtest.MustParse("a = a", tc.schema)
 		enc := newEncoder(tc.schema)
 		v, err := newVerifier(solver, enc, p)
 		if err != nil {
@@ -137,21 +138,21 @@ func TestEncode3VLNullability(t *testing.T) {
 
 func TestVerifyBasic(t *testing.T) {
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a > 0 AND b > 0", s)
+	p := predtest.MustParse("a > 0 AND b > 0", s)
 	solver := smt.New()
 	enc := newEncoder(s)
 	v, err := newVerifier(solver, enc, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	valid, err := v.Verify(predicate.MustParse("a > -5", s))
+	valid, err := v.Verify(predtest.MustParse("a > -5", s))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !valid {
 		t.Fatal("a > -5 is implied by a > 0 AND b > 0")
 	}
-	valid, err = v.Verify(predicate.MustParse("a > 5", s))
+	valid, err = v.Verify(predtest.MustParse("a > 5", s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,13 +162,13 @@ func TestVerifyBasic(t *testing.T) {
 	// Validity is preserved with NULLs when the implication is forced by
 	// a conjunct: p TRUE requires a, b non-NULL.
 	ns := nullableSchema("a", "b")
-	pn := predicate.MustParse("a > 0 AND b > 0", ns)
+	pn := predtest.MustParse("a > 0 AND b > 0", ns)
 	encN := newEncoder(ns)
 	vn, err := newVerifier(solver, encN, pn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	valid, err = vn.Verify(predicate.MustParse("a > -5", ns))
+	valid, err = vn.Verify(predtest.MustParse("a > -5", ns))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestVerifyPaperMotivatingRewrite(t *testing.T) {
 		predicate.Column{Name: "l_commitdate", Type: predicate.TypeDate, NotNull: true},
 		predicate.Column{Name: "o_orderdate", Type: predicate.TypeDate, NotNull: true},
 	)
-	p := predicate.MustParse(`l_shipdate - o_orderdate < 20
+	p := predtest.MustParse(`l_shipdate - o_orderdate < 20
 		AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10
 		AND o_orderdate < DATE '1993-06-01'`, s)
 	solver := smt.New()
@@ -199,7 +200,7 @@ func TestVerifyPaperMotivatingRewrite(t *testing.T) {
 		"l_commitdate - l_shipdate < 29",
 	}
 	for _, src := range validOnes {
-		ok, err := v.Verify(predicate.MustParse(src, s))
+		ok, err := v.Verify(predtest.MustParse(src, s))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +214,7 @@ func TestVerifyPaperMotivatingRewrite(t *testing.T) {
 		"l_commitdate > DATE '1993-01-01'", // unrelated direction
 	}
 	for _, src := range invalid {
-		ok, err := v.Verify(predicate.MustParse(src, s))
+		ok, err := v.Verify(predtest.MustParse(src, s))
 		if err != nil {
 			t.Fatal(err)
 		}

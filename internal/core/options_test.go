@@ -5,12 +5,12 @@ import (
 	"testing"
 	"time"
 
-	"sia/internal/predicate"
+	"sia/internal/predtest"
 )
 
 func TestTraceHook(t *testing.T) {
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a - b < 20 AND b < 0", s)
+	p := predtest.MustParse("a - b < 20 AND b < 0", s)
 	var calls int
 	var sawValid bool
 	opts := Options{Trace: func(iter int, cand fmt.Stringer, valid bool) {
@@ -42,7 +42,7 @@ func TestTraceHook(t *testing.T) {
 
 func TestSynthesisTimeout(t *testing.T) {
 	s := intSchema("a1", "a2", "b1")
-	p := predicate.MustParse("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0", s)
+	p := predtest.MustParse("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0", s)
 	opts := Options{Timeout: time.Nanosecond}
 	res, err := Synthesize(p, []string{"a1", "a2"}, s, opts)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 )
 
 func realSchema(names ...string) *predicate.Schema {
@@ -21,7 +22,7 @@ func TestSynthesizeRealColumns(t *testing.T) {
 	s := realSchema("x", "y")
 	// x - y < 2.5 AND y < 1.5  =>  over {x}: x < 4 (no integer
 	// tightening: reals are dense, so x can approach 4 arbitrarily).
-	p := predicate.MustParse("x - y < 2.5 AND y < 1.5", s)
+	p := predtest.MustParse("x - y < 2.5 AND y < 1.5", s)
 	res, err := Synthesize(p, []string{"x"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -40,7 +41,7 @@ func TestSynthesizeRealColumns(t *testing.T) {
 func TestSymbolicRelevanceRealColumns(t *testing.T) {
 	s := realSchema("x", "y")
 	// x < y with y unconstrained: no unsatisfaction tuple for {x}.
-	free := predicate.MustParse("x < y", s)
+	free := predtest.MustParse("x < y", s)
 	rel, err := SymbolicallyRelevant(free, []string{"x"}, s, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +50,7 @@ func TestSymbolicRelevanceRealColumns(t *testing.T) {
 		t.Fatal("x < y with free y should not be symbolically relevant for {x}")
 	}
 	// Bounding y creates unsatisfaction tuples for {x}.
-	bounded := predicate.MustParse("x < y AND y < 7.25", s)
+	bounded := predtest.MustParse("x < y AND y < 7.25", s)
 	rel, err = SymbolicallyRelevant(bounded, []string{"x"}, s, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +67,7 @@ func TestSynthesizeDisjunctivePredicate(t *testing.T) {
 	s := intSchema("a", "b")
 	// (a - b < 0 AND b < 10) OR (a < -50 AND b > 0): over {a} the
 	// feasible set is a < 9 ∪ a < -50 = a <= 8.
-	p := predicate.MustParse("(a - b < 0 AND b < 10) OR (a < -50 AND b > 0)", s)
+	p := predtest.MustParse("(a - b < 0 AND b < 10) OR (a < -50 AND b > 0)", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +90,7 @@ func TestSynthesizeDisjunctivePredicate(t *testing.T) {
 // still-misclassified TRUE samples.
 func TestSynthesizeDisjointRegions(t *testing.T) {
 	s := intSchema("a", "b")
-	p := predicate.MustParse("(a - b = 0 AND b > 0 AND b < 5) OR (a - b = 100 AND b > 0 AND b < 5)", s)
+	p := predtest.MustParse("(a - b = 0 AND b > 0 AND b < 5) OR (a - b = 100 AND b > 0 AND b < 5)", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 	"sia/internal/smt"
 )
 
@@ -72,7 +73,7 @@ func TestSynthesizePaperWalkthrough(t *testing.T) {
 	// target columns {a1, a2}. The optimal reduction is
 	// (a2 <= 18) AND (a1 - a2 <= 28).
 	s := intSchema("a1", "a2", "b1")
-	p := predicate.MustParse("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0", s)
+	p := predtest.MustParse("a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0", s)
 	cols := []string{"a1", "a2"}
 	res, err := Synthesize(p, cols, s, Options{})
 	if err != nil {
@@ -91,7 +92,7 @@ func TestSynthesizeSingleColumn(t *testing.T) {
 	// p = (a - b < 20) AND (b < 0), the reduction to {a} is a < 19,
 	// i.e. a <= 18.
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a - b < 20 AND b < 0", s)
+	p := predtest.MustParse("a - b < 20 AND b < 0", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +115,7 @@ func TestSynthesizeNoUnsatTuples(t *testing.T) {
 	// p = a > b: for every a there is a b making it true, so there is no
 	// unsatisfaction tuple for {a} and the only valid reduction is TRUE.
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a > b", s)
+	p := predtest.MustParse("a > b", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +129,7 @@ func TestSynthesizeFiniteTrueSet(t *testing.T) {
 	// p = (a = 3 OR a = 5) AND b > a: only two satisfaction tuples exist
 	// over {a}; the strongest valid predicate is their disjunction.
 	s := intSchema("a", "b")
-	p := predicate.MustParse("(a = 3 OR a = 5) AND b > a", s)
+	p := predtest.MustParse("(a = 3 OR a = 5) AND b > a", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +154,7 @@ func TestSynthesizeFiniteFalseSet(t *testing.T) {
 	// p = (a >= 0 OR a <= -3) AND b > a: the unsatisfaction tuples over
 	// {a} are exactly a ∈ {-1, -2}; the optimal predicate rejects them.
 	s := intSchema("a", "b")
-	p := predicate.MustParse("(a >= 0 OR a <= -3) AND b > a", s)
+	p := predtest.MustParse("(a >= 0 OR a <= -3) AND b > a", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +180,7 @@ func TestSynthesizeUnsatisfiablePredicate(t *testing.T) {
 	// satisfaction tuples at all and returns the strongest predicate
 	// (the empty disjunction, FALSE).
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a > b AND b > a", s)
+	p := predtest.MustParse("a > b AND b > a", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +195,7 @@ func TestSynthesizeUnsatisfiablePredicate(t *testing.T) {
 
 func TestSynthesizeColumnValidation(t *testing.T) {
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a > b", s)
+	p := predtest.MustParse("a > b", s)
 	if _, err := Synthesize(p, []string{"zzz"}, s, Options{}); err == nil {
 		t.Fatal("columns outside the predicate should be rejected")
 	}
@@ -209,7 +210,7 @@ func TestSynthesizeTwoSidedBound(t *testing.T) {
 	// [-3, 13]. The optimal reduction needs two hyperplanes, exercising
 	// the conjunction in Alg. 1 (line 7) across iterations.
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a - b < 5 AND b - a < 5 AND b > 0 AND b < 10", s)
+	p := predtest.MustParse("a - b < 5 AND b - a < 5 AND b > 0 AND b < 10", s)
 	cols := []string{"a"}
 	res, err := Synthesize(p, cols, s, Options{})
 	if err != nil {
@@ -240,7 +241,7 @@ func TestSynthesizePaperLimitation(t *testing.T) {
 	// either converge to a valid predicate or give up cleanly — never
 	// return an invalid one.
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a > b AND a < b + 50 AND b > 0 AND b < 150", s)
+	p := predtest.MustParse("a > b AND a < b + 50 AND b > 0 AND b < 150", s)
 	cols := []string{"a"}
 	res, err := Synthesize(p, cols, s, Options{})
 	if err != nil {
@@ -256,7 +257,7 @@ func TestSynthesizePaperLimitation(t *testing.T) {
 
 func TestSynthesizePresets(t *testing.T) {
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a - b < 20 AND b < 0", s)
+	p := predtest.MustParse("a - b < 20 AND b < 0", s)
 	for _, tc := range []struct {
 		name string
 		opts Options
@@ -282,7 +283,7 @@ func TestSynthesizePresets(t *testing.T) {
 
 func TestSynthesizeTimingAndCounts(t *testing.T) {
 	s := intSchema("a", "b")
-	p := predicate.MustParse("a - b < 20 AND b < 0", s)
+	p := predtest.MustParse("a - b < 20 AND b < 0", s)
 	res, err := Synthesize(p, []string{"a"}, s, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +307,7 @@ func TestSynthesizeDateColumns(t *testing.T) {
 		predicate.Column{Name: "l_commitdate", Type: predicate.TypeDate, NotNull: true},
 		predicate.Column{Name: "o_orderdate", Type: predicate.TypeDate, NotNull: true},
 	)
-	p := predicate.MustParse(`l_shipdate - o_orderdate < 20
+	p := predtest.MustParse(`l_shipdate - o_orderdate < 20
 		AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10
 		AND o_orderdate < DATE '1993-06-01'`, s)
 	cols := []string{"l_commitdate", "l_shipdate"}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 )
 
 func smallSchema() *predicate.Schema {
@@ -58,7 +59,7 @@ func TestTableNulls(t *testing.T) {
 func TestFilterFastPath(t *testing.T) {
 	tab := buildSmall(t, [][2]int64{{1, 10}, {2, 20}, {3, 30}, {4, 40}})
 	s := tab.Schema()
-	p := predicate.MustParse("v > 15 AND v < 40", s)
+	p := predtest.MustParse("v > 15 AND v < 40", s)
 	out := Filter(tab, p)
 	if out.NumRows() != 2 {
 		t.Fatalf("filter kept %d rows", out.NumRows())
@@ -93,7 +94,7 @@ func TestFilterMatchesEvalProperty(t *testing.T) {
 		"a = b OR b = c OR a > 10",
 	}
 	for _, src := range exprs {
-		p := predicate.MustParse(src, s)
+		p := predtest.MustParse(src, s)
 		out := Filter(tab, p)
 		want := 0
 		for row := 0; row < tab.NumRows(); row++ {
@@ -113,7 +114,7 @@ func TestFilterSlowPathNulls(t *testing.T) {
 	tab.AppendRow(predicate.IntVal(5))
 	tab.AppendRow(predicate.NullValue())
 	tab.AppendRow(predicate.IntVal(-5))
-	p := predicate.MustParse("x > 0", s)
+	p := predtest.MustParse("x > 0", s)
 	out := Filter(tab, p)
 	if out.NumRows() != 1 {
 		t.Fatalf("NULL must not pass the filter: kept %d", out.NumRows())

@@ -18,6 +18,8 @@ func CompilePredicate(p predicate.Predicate, t *Table) func(row int) bool {
 		return fn
 	}
 	return func(row int) bool {
+		// tribool: WHERE semantics — a row is accepted exactly when the
+		// predicate is True; Unknown rejects like False.
 		return predicate.Eval(p, t.Tuple(row)) == predicate.True
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 )
 
 func TestSelectionMatchesEvalDifferential(t *testing.T) {
@@ -43,7 +44,7 @@ func TestSelectionMatchesEvalDifferential(t *testing.T) {
 		"a < 5 AND (b > 0 OR c > 0)",
 	}
 	for _, src := range exprs {
-		p := predicate.MustParse(src, s)
+		p := predtest.MustParse(src, s)
 		sel := Selection(tab, p)
 		for row := 0; row < tab.NumRows(); row++ {
 			want := predicate.Eval(p, tab.Tuple(row)) == predicate.True
@@ -60,7 +61,7 @@ func TestSelectionNullableFallsBack(t *testing.T) {
 	tab.AppendRow(predicate.IntVal(5))
 	tab.AppendRow(predicate.NullValue())
 	tab.AppendRow(predicate.IntVal(-5))
-	sel := Selection(tab, predicate.MustParse("x > 0", s))
+	sel := Selection(tab, predtest.MustParse("x > 0", s))
 	if !sel[0] || sel[1] || sel[2] {
 		t.Fatalf("nullable selection wrong: %v", sel)
 	}
@@ -98,7 +99,7 @@ func BenchmarkSelectionVectorized(b *testing.B) {
 	for i := 0; i < 100000; i++ {
 		tab.AppendRow(predicate.IntVal(int64(r.Intn(1000))), predicate.IntVal(int64(r.Intn(1000))))
 	}
-	p := predicate.MustParse("a - b < 100 AND a < 700", s)
+	p := predtest.MustParse("a - b < 100 AND a < 700", s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Selection(tab, p)

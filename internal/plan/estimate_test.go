@@ -7,6 +7,7 @@ import (
 
 	"sia/internal/engine"
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 	"sia/internal/tpch"
 )
 
@@ -29,7 +30,7 @@ func TestEstimateSelectivity(t *testing.T) {
 		{"FALSE", 0},
 	}
 	for _, c := range cases {
-		got := EstimateSelectivity(predicate.MustParse(c.src, s))
+		got := EstimateSelectivity(predtest.MustParse(c.src, s))
 		if math.Abs(got-c.want) > 1e-12 {
 			t.Errorf("EstimateSelectivity(%q) = %f, want %f", c.src, got, c.want)
 		}
@@ -54,7 +55,7 @@ func TestEstimateRows(t *testing.T) {
 	}
 
 	// A filter scales by its selectivity estimate.
-	f := &Filter{Pred: predicate.MustParse("l_quantity < 10", tpch.LineitemSchema()), Input: li}
+	f := &Filter{Pred: predtest.MustParse("l_quantity < 10", tpch.LineitemSchema()), Input: li}
 	rows, err = EstimateRows(f, cat)
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +78,7 @@ func TestEstimateRows(t *testing.T) {
 	}
 	filtered := &Join{
 		Left:    li,
-		Right:   &Filter{Pred: predicate.MustParse("o_orderdate < DATE '1993-01-01'", tpch.OrdersSchema()), Input: od},
+		Right:   &Filter{Pred: predtest.MustParse("o_orderdate < DATE '1993-01-01'", tpch.OrdersSchema()), Input: od},
 		LeftKey: "l_orderkey", RightKey: "o_orderkey",
 	}
 	rows, err = EstimateRows(filtered, cat)
@@ -136,7 +137,7 @@ func TestEstimateSelectivityWithStats(t *testing.T) {
 	s := tpch.LineitemSchema()
 	// l_quantity is uniform on [1, 50]: the histogram estimate for <= 25
 	// should be near 0.5, far better than the 1/3 constant.
-	p := predicate.MustParse("l_quantity <= 25", s)
+	p := predtest.MustParse("l_quantity <= 25", s)
 	got := EstimateSelectivityWithStats(p, stats)
 	if math.Abs(got-0.5) > 0.06 {
 		t.Fatalf("histogram estimate %f, want ~0.5", got)
@@ -147,12 +148,12 @@ func TestEstimateSelectivityWithStats(t *testing.T) {
 		t.Fatalf("flipped orientation differs: %f vs %f", g2, got)
 	}
 	// Columns without stats fall back to the constants.
-	q := predicate.MustParse("l_extendedprice < 100", s)
+	q := predtest.MustParse("l_extendedprice < 100", s)
 	if g3 := EstimateSelectivityWithStats(q, stats); g3 != 1.0/3 {
 		t.Fatalf("fallback = %f, want 1/3", g3)
 	}
 	// AND composes.
-	both := predicate.MustParse("l_quantity <= 25 AND l_extendedprice < 100", s)
+	both := predtest.MustParse("l_quantity <= 25 AND l_extendedprice < 100", s)
 	want := got / 3
 	if g4 := EstimateSelectivityWithStats(both, stats); math.Abs(g4-want) > 1e-9 {
 		t.Fatalf("AND composition = %f, want %f", g4, want)
@@ -162,7 +163,7 @@ func TestEstimateSelectivityWithStats(t *testing.T) {
 // MustCompare parses a source string and asserts it is a comparison.
 func MustCompare(t *testing.T, src string, s *predicate.Schema) *predicate.Compare {
 	t.Helper()
-	p := predicate.MustParse(src, s)
+	p := predtest.MustParse(src, s)
 	c, ok := p.(*predicate.Compare)
 	if !ok {
 		t.Fatalf("%q is not a comparison", src)

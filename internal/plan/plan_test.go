@@ -6,6 +6,7 @@ import (
 
 	"sia/internal/engine"
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 	"sia/internal/tpch"
 )
 
@@ -21,7 +22,7 @@ func smallCatalog(t *testing.T) *Catalog {
 func joinQueryPlan(t *testing.T, cat *Catalog, where string) Node {
 	t.Helper()
 	schema := tpch.JoinSchema()
-	pred := predicate.MustParse(where, schema)
+	pred := predtest.MustParse(where, schema)
 	l, err := NewScan(cat, "lineitem")
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +52,7 @@ func TestExecuteJoinFilter(t *testing.T) {
 	}
 	// Every output row must satisfy the predicate.
 	schema := tpch.JoinSchema()
-	pred := predicate.MustParse("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'", schema)
+	pred := predtest.MustParse("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'", schema)
 	for row := 0; row < out.NumRows() && row < 50; row++ {
 		if !predicate.Satisfies(pred, out.Tuple(row)) {
 			t.Fatalf("row %d violates predicate", row)
@@ -114,7 +115,7 @@ func TestPushDownBelowAggregate(t *testing.T) {
 		Aggs:    []engine.AggSpec{{Func: engine.AggCount, As: "n"}},
 		Input:   li,
 	}
-	pred := predicate.MustParse("l_orderkey < 100", predicate.NewSchema(
+	pred := predtest.MustParse("l_orderkey < 100", predicate.NewSchema(
 		predicate.Column{Name: "l_orderkey", Type: predicate.TypeInteger, NotNull: true},
 	))
 	plan := &Filter{Pred: pred, Input: agg}
@@ -141,7 +142,7 @@ func TestConstantPropagation(t *testing.T) {
 		predicate.Column{Name: "x", Type: predicate.TypeInteger, NotNull: true},
 		predicate.Column{Name: "y", Type: predicate.TypeInteger, NotNull: true},
 	)
-	p := predicate.MustParse("x = 5 AND x + y = 20", s)
+	p := predtest.MustParse("x = 5 AND x + y = 20", s)
 	out := ConstantPropagation(p)
 	// After propagation, the second conjunct should not mention x.
 	conjs := predicate.Conjuncts(out)
@@ -162,7 +163,7 @@ func TestConstantPropagation(t *testing.T) {
 		}
 	}
 	// No equality: unchanged.
-	q := predicate.MustParse("x < 5 AND y > 2", s)
+	q := predtest.MustParse("x < 5 AND y > 2", s)
 	if ConstantPropagation(q) != q {
 		t.Fatal("propagation should be identity without equalities")
 	}
@@ -175,7 +176,7 @@ func TestTransitiveClosureReduce(t *testing.T) {
 		predicate.Column{Name: "c", Type: predicate.TypeInteger, NotNull: true},
 	)
 	// a - b <= 3 and b <= 7 give a <= 10.
-	p := predicate.MustParse("a - b <= 3 AND b <= 7 AND c > 100", s)
+	p := predtest.MustParse("a - b <= 3 AND b <= 7 AND c > 100", s)
 	out := TransitiveClosureReduce(p, []string{"a"})
 	if out == nil {
 		t.Fatal("expected a derived bound on a")
@@ -190,7 +191,7 @@ func TestTransitiveClosureReduce(t *testing.T) {
 		t.Fatalf("a=11 should not satisfy %s", out)
 	}
 	// Chains: a - b < 3, b - c < 4, c < 5 -> a < 12 over {a} via two hops.
-	p2 := predicate.MustParse("a - b < 3 AND b - c < 4 AND c < 5", s)
+	p2 := predtest.MustParse("a - b < 3 AND b - c < 4 AND c < 5", s)
 	out2 := TransitiveClosureReduce(p2, []string{"a"})
 	if out2 == nil {
 		t.Fatal("expected a chained bound on a")
@@ -200,7 +201,7 @@ func TestTransitiveClosureReduce(t *testing.T) {
 	}
 	// The paper's §2 point: arithmetic outside the difference fragment is
 	// ignored, so nothing is derivable here.
-	p3 := predicate.MustParse("a - 2*b < 3 AND b < 5", s)
+	p3 := predtest.MustParse("a - 2*b < 3 AND b < 5", s)
 	if got := TransitiveClosureReduce(p3, []string{"a"}); got != nil {
 		t.Fatalf("coefficient 2 is outside the fragment, got %s", got)
 	}
@@ -220,7 +221,7 @@ func TestTransitiveClosureSoundness(t *testing.T) {
 		"a - b <= -2 AND b <= 0 AND a >= -30",
 	}
 	for _, src := range cases {
-		p := predicate.MustParse(src, s)
+		p := predtest.MustParse(src, s)
 		derived := TransitiveClosureReduce(p, []string{"a", "b"})
 		if derived == nil {
 			continue

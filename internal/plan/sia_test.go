@@ -6,6 +6,7 @@ import (
 
 	"sia/internal/core"
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 	"sia/internal/tpch"
 )
 
@@ -95,7 +96,7 @@ func TestSiaRewriteNoJoinNoChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &Filter{Pred: predicate.MustParse("l_quantity > 10", tpch.LineitemSchema()), Input: li}
+	f := &Filter{Pred: predtest.MustParse("l_quantity > 10", tpch.LineitemSchema()), Input: li}
 	out, infos, err := SiaRewrite(f, tpch.LineitemSchema(), core.PresetSIA())
 	if err != nil {
 		t.Fatal(err)

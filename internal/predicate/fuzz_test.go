@@ -63,3 +63,27 @@ func TestParseRandomBytes(t *testing.T) {
 		}()
 	}
 }
+
+// FuzzParse is the native fuzz target behind the CI smoke step
+// (go test -fuzz=Fuzz -fuzztime=10s): any input must parse or error,
+// and whatever parses must print and evaluate without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add("a < 10 AND b >= 3")
+	f.Add("l_shipdate <= DATE '1993-06-01' + INTERVAL '20' DAY")
+	f.Add("NOT (a = 1 OR b <> 2)")
+	f.Add("((")
+	f.Add("a +")
+	s := NewSchema(
+		Column{Name: "a", Type: TypeInteger},
+		Column{Name: "b", Type: TypeInteger},
+		Column{Name: "l_shipdate", Type: TypeDate},
+	)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src, s)
+		if err != nil {
+			return
+		}
+		_ = p.String()
+		_ = Eval(p, Tuple{"a": IntVal(1), "b": IntVal(2), "l_shipdate": IntVal(3)})
+	})
+}

@@ -9,7 +9,7 @@ import (
 
 func TestLinearizeBasic(t *testing.T) {
 	s := testSchema()
-	p := MustParse("2*a + 3*b - a < 10", s).(*Compare)
+	p := mustParse("2*a + 3*b - a < 10", s).(*Compare)
 	lf, err := Linearize(p.Left)
 	if err != nil {
 		t.Fatal(err)

@@ -31,15 +31,6 @@ func Parse(input string, schema *Schema) (Predicate, error) {
 	return pred, nil
 }
 
-// MustParse is Parse that panics on error, for tests and static queries.
-func MustParse(input string, schema *Schema) Predicate {
-	p, err := Parse(input, schema)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 type tokKind int
 
 const (

@@ -6,6 +6,16 @@ import (
 	"testing"
 )
 
+// mustParse is the in-package test shorthand for Parse on known-good
+// static inputs.
+func mustParse(input string, schema *Schema) Predicate {
+	p, err := Parse(input, schema)
+	if err != nil {
+		panic("predicate test: " + err.Error())
+	}
+	return p
+}
+
 func testSchema() *Schema {
 	return NewSchema(
 		Column{Name: "a", Type: TypeInteger},
@@ -36,7 +46,7 @@ func TestParseSimple(t *testing.T) {
 func TestParsePrecedence(t *testing.T) {
 	s := testSchema()
 	// AND binds tighter than OR; NOT tighter than AND.
-	p := MustParse("a > 1 OR b > 2 AND c > 3", s)
+	p := mustParse("a > 1 OR b > 2 AND c > 3", s)
 	or, ok := p.(*Or)
 	if !ok || len(or.Preds) != 2 {
 		t.Fatalf("OR should be the root: %s", p)
@@ -44,7 +54,7 @@ func TestParsePrecedence(t *testing.T) {
 	if _, ok := or.Preds[1].(*And); !ok {
 		t.Fatalf("right OR operand should be AND: %s", p)
 	}
-	p = MustParse("NOT a > 1 AND b > 2", s)
+	p = mustParse("NOT a > 1 AND b > 2", s)
 	and, ok := p.(*And)
 	if !ok {
 		t.Fatalf("AND should be the root: %s", p)
@@ -56,7 +66,7 @@ func TestParsePrecedence(t *testing.T) {
 
 func TestParseParenthesizedPredicate(t *testing.T) {
 	s := testSchema()
-	p := MustParse("(a > 1 OR b > 2) AND c > 3", s)
+	p := mustParse("(a > 1 OR b > 2) AND c > 3", s)
 	and, ok := p.(*And)
 	if !ok || len(and.Preds) != 2 {
 		t.Fatalf("expected AND root, got %s", p)
@@ -68,7 +78,7 @@ func TestParseParenthesizedPredicate(t *testing.T) {
 
 func TestParseParenthesizedExpression(t *testing.T) {
 	s := testSchema()
-	p := MustParse("(a + b) * 2 < 10", s)
+	p := mustParse("(a + b) * 2 < 10", s)
 	cmp, ok := p.(*Compare)
 	if !ok {
 		t.Fatalf("expected comparison, got %T", p)
@@ -85,7 +95,7 @@ func TestParseParenthesizedExpression(t *testing.T) {
 
 func TestParseDatesAndIntervals(t *testing.T) {
 	s := testSchema()
-	p := MustParse("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'", s)
+	p := mustParse("l_shipdate - o_orderdate < 20 AND o_orderdate < DATE '1993-06-01'", s)
 	ship := DateToDays(1993, 5, 30)
 	order := DateToDays(1993, 5, 20)
 	tu := Tuple{"l_shipdate": IntVal(ship), "o_orderdate": IntVal(order)}
@@ -93,12 +103,12 @@ func TestParseDatesAndIntervals(t *testing.T) {
 		t.Fatalf("date predicate should hold: %s", p)
 	}
 	// Bare quoted strings parse as dates too.
-	q := MustParse("o_orderdate < '1993-06-01'", s)
+	q := mustParse("o_orderdate < '1993-06-01'", s)
 	if Eval(q, tu) != True {
 		t.Fatal("bare date literal failed")
 	}
 	// INTERVAL 'n' DAY parses as an integer day count.
-	iv := MustParse("l_shipdate - o_orderdate < INTERVAL '20' DAY", s)
+	iv := mustParse("l_shipdate - o_orderdate < INTERVAL '20' DAY", s)
 	if Eval(iv, tu) != True {
 		t.Fatal("interval literal failed")
 	}
@@ -148,7 +158,7 @@ func TestParseErrors(t *testing.T) {
 
 func TestParseNegativeNumbers(t *testing.T) {
 	s := testSchema()
-	p := MustParse("a > -5 AND -a < 5", s)
+	p := mustParse("a > -5 AND -a < 5", s)
 	if Eval(p, tup(map[string]int64{"a": 0})) != True {
 		t.Fatal("negative literal handling broke")
 	}
@@ -159,7 +169,7 @@ func TestParseNegativeNumbers(t *testing.T) {
 
 func TestParseFloats(t *testing.T) {
 	s := testSchema()
-	p := MustParse("x * 2.5 > 10.0", s)
+	p := mustParse("x * 2.5 > 10.0", s)
 	if Eval(p, Tuple{"x": RealVal(4.1)}) != True {
 		t.Fatal("float comparison failed")
 	}
@@ -190,7 +200,7 @@ func TestPrintParseRoundTripProperty(t *testing.T) {
 
 func TestColumnsAndUsesOnly(t *testing.T) {
 	s := testSchema()
-	p := MustParse("a + b > 3 AND c < 2 OR a = 1", s)
+	p := mustParse("a + b > 3 AND c < 2 OR a = 1", s)
 	got := Columns(p)
 	if strings.Join(got, ",") != "a,b,c" {
 		t.Fatalf("Columns = %v", got)

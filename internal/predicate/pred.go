@@ -255,8 +255,9 @@ func NewNot(p Predicate) Predicate {
 		return TruePred
 	case *Not:
 		return x.P
+	default:
+		return &Not{P: p}
 	}
-	return &Not{P: p}
 }
 
 // Cmp returns the comparison l op r.

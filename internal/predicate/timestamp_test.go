@@ -37,7 +37,7 @@ func TestParseTimestampLiteral(t *testing.T) {
 		Column{Name: "created", Type: TypeTimestamp, NotNull: true},
 		Column{Name: "updated", Type: TypeTimestamp, NotNull: true},
 	)
-	p := MustParse("updated - created < 3600 AND created >= TIMESTAMP '1993-06-01 08:00:00'", s)
+	p := mustParse("updated - created < 3600 AND created >= TIMESTAMP '1993-06-01 08:00:00'", s)
 	base, _ := ParseTimestamp("1993-06-01 08:30:00")
 	tu := Tuple{"created": IntVal(base), "updated": IntVal(base + 1800)}
 	if Eval(p, tu) != True {
@@ -48,7 +48,7 @@ func TestParseTimestampLiteral(t *testing.T) {
 		t.Fatal("gap over an hour should fail")
 	}
 	// Print/parse round trip preserves semantics.
-	back := MustParse(p.String(), s)
+	back := mustParse(p.String(), s)
 	if !Equal(p, back) {
 		t.Fatalf("round trip changed structure: %q vs %q", p, back)
 	}

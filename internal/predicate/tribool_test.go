@@ -1,0 +1,102 @@
+package predicate
+
+import "testing"
+
+// The three truth values in a fixed order for table indexing.
+var triVals = [3]TriBool{False, Unknown, True}
+
+// TestTriBoolAnd checks the full Kleene conjunction table: AND is the
+// minimum under False < Unknown < True.
+func TestTriBoolAnd(t *testing.T) {
+	want := [3][3]TriBool{
+		//            False    Unknown  True
+		/* False   */ {False, False, False},
+		/* Unknown */ {False, Unknown, Unknown},
+		/* True    */ {False, Unknown, True},
+	}
+	for i, a := range triVals {
+		for j, b := range triVals {
+			if got := a.And(b); got != want[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, want[i][j])
+			}
+		}
+	}
+}
+
+// TestTriBoolOr checks the full Kleene disjunction table: OR is the
+// maximum under False < Unknown < True.
+func TestTriBoolOr(t *testing.T) {
+	want := [3][3]TriBool{
+		//            False    Unknown  True
+		/* False   */ {False, Unknown, True},
+		/* Unknown */ {Unknown, Unknown, True},
+		/* True    */ {True, True, True},
+	}
+	for i, a := range triVals {
+		for j, b := range triVals {
+			if got := a.Or(b); got != want[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, want[i][j])
+			}
+		}
+	}
+}
+
+// TestTriBoolNot checks negation: True and False swap, Unknown is fixed.
+func TestTriBoolNot(t *testing.T) {
+	want := map[TriBool]TriBool{False: True, Unknown: Unknown, True: False}
+	for _, a := range triVals {
+		if got := a.Not(); got != want[a] {
+			t.Errorf("NOT %v = %v, want %v", a, got, want[a])
+		}
+		if got := a.Not().Not(); got != a {
+			t.Errorf("NOT NOT %v = %v, want %v", a, got, a)
+		}
+	}
+}
+
+// TestTriBoolKleeneLaws spot-checks algebraic identities that And/Or/Not
+// must satisfy as a Kleene algebra: De Morgan duality, commutativity, and
+// absorption.
+func TestTriBoolKleeneLaws(t *testing.T) {
+	for _, a := range triVals {
+		for _, b := range triVals {
+			if a.And(b) != b.And(a) {
+				t.Errorf("AND not commutative at (%v, %v)", a, b)
+			}
+			if a.Or(b) != b.Or(a) {
+				t.Errorf("OR not commutative at (%v, %v)", a, b)
+			}
+			if a.And(b).Not() != a.Not().Or(b.Not()) {
+				t.Errorf("De Morgan (AND) fails at (%v, %v)", a, b)
+			}
+			if a.Or(b).Not() != a.Not().And(b.Not()) {
+				t.Errorf("De Morgan (OR) fails at (%v, %v)", a, b)
+			}
+			if a.And(a.Or(b)) != a {
+				t.Errorf("absorption a AND (a OR b) fails at (%v, %v)", a, b)
+			}
+			if a.Or(a.And(b)) != a {
+				t.Errorf("absorption a OR (a AND b) fails at (%v, %v)", a, b)
+			}
+		}
+	}
+}
+
+// TestTriBoolString covers every value plus an out-of-range one, which
+// must render as UNKNOWN rather than panic.
+func TestTriBoolString(t *testing.T) {
+	cases := []struct {
+		in   TriBool
+		want string
+	}{
+		{True, "TRUE"},
+		{False, "FALSE"},
+		{Unknown, "UNKNOWN"},
+		{TriBool(7), "UNKNOWN"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("TriBool(%d).String() = %q, want %q", int8(c.in), got, c.want)
+		}
+	}
+}

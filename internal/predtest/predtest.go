@@ -1,0 +1,20 @@
+// Package predtest provides test helpers for constructing predicates from
+// source text. It exists so that library code never offers a panicking
+// parse path: predicate.Parse returns its error, and the must-style
+// convenience lives here, where only tests and benchmarks import it.
+package predtest
+
+import (
+	"sia/internal/predicate"
+)
+
+// MustParse parses a predicate and panics on error. Test-only convenience:
+// the inputs are static strings, so a failure is a programming error in the
+// test itself.
+func MustParse(input string, schema *predicate.Schema) predicate.Predicate {
+	p, err := predicate.Parse(input, schema)
+	if err != nil {
+		panic("predtest: " + err.Error())
+	}
+	return p
+}

@@ -49,6 +49,8 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 				return fmt.Errorf("smt: non-integer coefficient in divisibility atom %s", x)
 			}
 			lcmInto(m, new(big.Int).Abs(c.Num()))
+		default:
+			// walkLeaves yields only Atom and Div leaves.
 		}
 		return nil
 	})
@@ -141,6 +143,8 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 			if x.T.Has(y) {
 				lcmInto(delta, x.M)
 			}
+		default:
+			// walkLeaves yields only Atom and Div leaves.
 		}
 		return nil
 	})
@@ -247,7 +251,7 @@ func substInfinity(f Formula, y Var, j int64, useLower bool) Formula {
 		}
 	})
 	if err != nil {
-		panic(err) // rewrite callback never errors here
+		panic("smt: internal: substInfinity rewrite failed: " + err.Error()) // callback never errors
 	}
 	return out
 }

@@ -133,6 +133,8 @@ func univariateCandidates(v Var, f Formula, spread int64) ([]*big.Rat, error) {
 			if x.T.Has(v) {
 				lcmInto(delta, x.M)
 			}
+		default:
+			// walkLeaves yields only Atom and Div leaves.
 		}
 		return nil
 	})

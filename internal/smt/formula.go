@@ -203,8 +203,9 @@ func NewNot(f Formula) Formula {
 		return Bool(!x)
 	case *Not:
 		return x.F
+	default:
+		return &Not{F: f}
 	}
-	return &Not{F: f}
 }
 
 // LT returns the atom a < b.

@@ -133,7 +133,7 @@ func substRealMinusInf(f Formula, v Var) Formula {
 		}
 	})
 	if err != nil {
-		panic(err)
+		panic("smt: internal: substRealMinusInf rewrite failed: " + err.Error()) // callback never errors
 	}
 	return out
 }
@@ -167,7 +167,7 @@ func substRealEps(f Formula, v Var, s0 *Term) Formula {
 		}
 	})
 	if err != nil {
-		panic(err)
+		panic("smt: internal: substRealEps rewrite failed: " + err.Error()) // callback never errors
 	}
 	return out
 }

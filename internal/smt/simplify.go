@@ -297,6 +297,8 @@ func simplifyJunction(fs []Formula, isAnd bool) Formula {
 				}
 				return true
 			}
+		default:
+			// Every other node is kept as an opaque child below.
 		}
 		key := g.String()
 		if seen[key] {

@@ -326,6 +326,8 @@ func solveUnivariate(v Var, f Formula) (*big.Rat, error) {
 			if x.T.Has(v) {
 				lcmInto(delta, x.M)
 			}
+		default:
+			// walkLeaves yields only Atom and Div leaves.
 		}
 		return nil
 	})

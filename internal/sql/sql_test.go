@@ -6,6 +6,7 @@ import (
 
 	"sia/internal/plan"
 	"sia/internal/predicate"
+	"sia/internal/predtest"
 	"sia/internal/tpch"
 )
 
@@ -130,7 +131,7 @@ func TestPlanExecutionMatchesSemantics(t *testing.T) {
 
 	lineitem, _ := cat.Table("lineitem")
 	orders, _ := cat.Table("orders")
-	pred := predicate.MustParse(where, q.Schema)
+	pred := predtest.MustParse(where, q.Schema)
 	want := 0
 	for i := 0; i < lineitem.NumRows(); i++ {
 		li := lineitem.Tuple(i)
