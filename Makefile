@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint fuzz-smoke check clean
+.PHONY: build vet test race race-engine lint fuzz-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The parallel engine must be race-free and byte-deterministic at any
+# scheduler width; exercise both extremes.
+race-engine:
+	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/engine/
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/engine/
+
 lint:
 	$(GO) run ./cmd/sialint ./...
 
@@ -21,7 +27,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
 
 # check is the full CI gate: everything must pass before merging.
-check: build vet race lint
+check: build vet race race-engine lint
 
 clean:
 	$(GO) clean ./...

@@ -263,3 +263,32 @@ func BenchmarkEngineJoin(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelScanJoin measures the morsel-driven engine on the
+// Fig. 9-shaped scan+join at SF 3, at 1 and 4 workers. The acceptance
+// target is ≥2x at 4 workers; results are byte-identical at any width.
+func BenchmarkParallelScanJoin(b *testing.B) {
+	orders, lineitem := tpch.Generate(tpch.Config{ScaleFactor: 3})
+	oPred := predtest.MustParse("o_orderdate < DATE '1993-06-01'", tpch.OrdersSchema())
+	liPred := predtest.MustParse("l_shipdate < DATE '1993-06-20'", tpch.LineitemSchema())
+	for _, par := range []int{1, 4} {
+		b.Run(parName(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, _, err := engine.HashJoinWherePar(lineitem, orders, "l_orderkey", "o_orderkey", liPred, oPred, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.NumRows() == 0 {
+					b.Fatal("empty join result")
+				}
+			}
+		})
+	}
+}
+
+func parName(par int) string {
+	if par == 1 {
+		return "par=1"
+	}
+	return "par=4"
+}

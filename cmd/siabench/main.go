@@ -30,6 +30,7 @@ func main() {
 	scale := flag.String("scale", "1,10", "comma-separated scale factors (x15k orders; paper SF1/SF10 = 100,1000)")
 	population := flag.Int("population", 2000, "case-study population size (fig6)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
+	parallelism := flag.Int("parallelism", 0, "engine worker count for plan execution (0 = one per CPU; results are identical at any setting)")
 	flag.Parse()
 
 	var sfs []float64
@@ -40,7 +41,7 @@ func main() {
 		}
 		sfs = append(sfs, f)
 	}
-	cfg := experiments.Config{Queries: *queries, Seed: *seed, ScaleFactors: sfs}
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, ScaleFactors: sfs, Parallelism: *parallelism}
 
 	run := map[string]bool{}
 	if *all {

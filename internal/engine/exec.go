@@ -2,17 +2,17 @@ package engine
 
 import (
 	"fmt"
-	"math/big"
 
 	"sia/internal/predicate"
 )
 
 // CompilePredicate compiles a predicate into a per-row acceptance function
-// for the table. When every referenced column is integral and NOT NULL and
-// the predicate is division-free, the compiled form evaluates directly over
-// the raw column arrays; otherwise it falls back to tuple materialization
-// with full three-valued evaluation. Both paths accept a row exactly when
-// the predicate evaluates to TRUE.
+// for the table. When every referenced column is integral and NOT NULL, the
+// predicate is division-free, and the evaluation provably fits in int64,
+// the compiled form evaluates directly over the raw column arrays;
+// otherwise it falls back to tuple materialization with full three-valued
+// evaluation. Both paths accept a row exactly when the predicate evaluates
+// to TRUE.
 func CompilePredicate(p predicate.Predicate, t *Table) func(row int) bool {
 	if fn, ok := compileFast(p, t); ok {
 		return fn
@@ -26,97 +26,71 @@ func CompilePredicate(p predicate.Predicate, t *Table) func(row int) bool {
 
 type intExpr func(row int) int64
 
-func compileFastExpr(e predicate.Expr, t *Table) (intExpr, bool) {
+// compileFastExpr compiles an integer expression into a closure over the
+// backing arrays, together with a saturating upper bound on the magnitude
+// of any value (including intermediates) the closure can produce. Callers
+// must reject the compilation when the bound exceeds int64 range — the
+// closures use wrapping machine arithmetic.
+func compileFastExpr(e predicate.Expr, t *Table) (intExpr, uint64, bool) {
 	switch x := e.(type) {
 	case *predicate.ColumnRef:
 		col, ok := t.schema.Lookup(x.Name)
 		if !ok || !col.Type.Integral() || !col.NotNull {
-			return nil, false
+			return nil, 0, false
 		}
-		data := t.cols[x.Name].ints
-		return func(row int) int64 { return data[row] }, true
+		cd := t.cols[x.Name]
+		data := cd.ints
+		return func(row int) int64 { return data[row] }, cd.maxAbs, true
 	case *predicate.Const:
 		if x.Val.Null || !x.Type.Integral() {
-			return nil, false
+			return nil, 0, false
 		}
 		v := x.Val.Int
-		return func(int) int64 { return v }, true
+		return func(int) int64 { return v }, absU64(v), true
 	case *predicate.BinaryExpr:
-		l, ok := compileFastExpr(x.Left, t)
+		l, lb, ok := compileFastExpr(x.Left, t)
 		if !ok {
-			return nil, false
+			return nil, 0, false
 		}
-		r, ok := compileFastExpr(x.Right, t)
+		r, rb, ok := compileFastExpr(x.Right, t)
 		if !ok {
-			return nil, false
+			return nil, 0, false
 		}
 		switch x.Op {
 		case predicate.OpAdd:
-			return func(row int) int64 { return l(row) + r(row) }, true
+			return func(row int) int64 { return l(row) + r(row) }, addBound(lb, rb), true
 		case predicate.OpSub:
-			return func(row int) int64 { return l(row) - r(row) }, true
+			return func(row int) int64 { return l(row) - r(row) }, addBound(lb, rb), true
 		case predicate.OpMul:
-			return func(row int) int64 { return l(row) * r(row) }, true
+			return func(row int) int64 { return l(row) * r(row) }, mulBound(lb, rb), true
 		default:
 			// Division has rational semantics; take the slow path.
-			return nil, false
+			return nil, 0, false
 		}
 	default:
-		return nil, false
+		return nil, 0, false
 	}
 }
 
 // compileLinearCompare compiles a comparison of linear integer expressions
 // into a flat multiply-add over the backing column arrays — one closure,
 // no expression-tree walks per row. Returns ok=false when the comparison
-// is non-linear, mixes types, or has fractional coefficients that do not
-// clear into int64.
+// is non-linear, mixes types, has fractional coefficients that do not
+// clear into int64, or could overflow int64 (see linearizeCompare).
 func compileLinearCompare(x *predicate.Compare, t *Table) (func(row int) bool, bool) {
-	lin, err := predicate.Linearize(predicate.Sub(x.Left, x.Right))
-	if err != nil {
+	lc, ok := linearizeCompare(x, t)
+	if !ok {
 		return nil, false
 	}
-	// Clear denominators: scaling by a positive integer preserves every
-	// comparison against zero.
-	scale := lin.Clone()
-	lcm := int64(1)
-	for _, col := range lin.Columns() {
-		d := lin.Coeffs[col].Denom()
-		if !d.IsInt64() {
-			return nil, false
-		}
-		lcm = lcmInt64(lcm, d.Int64())
-	}
-	if d := lin.Const.Denom(); !d.IsInt64() {
-		return nil, false
-	} else {
-		lcm = lcmInt64(lcm, d.Int64())
-	}
-	if lcm <= 0 || lcm > 1<<20 {
-		return nil, false
-	}
-	scale.Scale(ratFromInt(lcm))
-
-	type term struct {
+	terms := make([]struct {
 		coef int64
 		data []int64
+	}, len(lc.cols))
+	for i := range lc.cols {
+		terms[i].coef = lc.coefs[i]
+		terms[i].data = lc.cols[i]
 	}
-	var terms []term
-	for _, col := range scale.Columns() {
-		c, ok := t.schema.Lookup(col)
-		if !ok || !c.Type.Integral() || !c.NotNull {
-			return nil, false
-		}
-		coef := scale.Coeffs[col]
-		if !coef.IsInt() || !coef.Num().IsInt64() {
-			return nil, false
-		}
-		terms = append(terms, term{coef: coef.Num().Int64(), data: t.cols[col].ints})
-	}
-	if !scale.Const.IsInt() || !scale.Const.Num().IsInt64() {
-		return nil, false
-	}
-	k := scale.Const.Num().Int64()
+	k := lc.k
 	sum := func(row int) int64 {
 		s := k
 		for _, tm := range terms {
@@ -124,7 +98,7 @@ func compileLinearCompare(x *predicate.Compare, t *Table) (func(row int) bool, b
 		}
 		return s
 	}
-	switch x.Op {
+	switch lc.op {
 	case predicate.CmpLT:
 		return func(row int) bool { return sum(row) < 0 }, true
 	case predicate.CmpGT:
@@ -153,20 +127,23 @@ func lcmInt64(a, b int64) int64 {
 	return a / g * b
 }
 
-func ratFromInt(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }
-
 func compileFast(p predicate.Predicate, t *Table) (func(row int) bool, bool) {
 	switch x := p.(type) {
 	case *predicate.Compare:
 		if fn, ok := compileLinearCompare(x, t); ok {
 			return fn, true
 		}
-		l, ok := compileFastExpr(x.Left, t)
+		l, lb, ok := compileFastExpr(x.Left, t)
 		if !ok {
 			return nil, false
 		}
-		r, ok := compileFastExpr(x.Right, t)
+		r, rb, ok := compileFastExpr(x.Right, t)
 		if !ok {
+			return nil, false
+		}
+		// Overflow guard: the comparison itself never overflows (it is a
+		// plain int64 compare), but either side's arithmetic could wrap.
+		if lb > maxInt64U || rb > maxInt64U {
 			return nil, false
 		}
 		switch x.Op {
@@ -235,46 +212,119 @@ func compileFast(p predicate.Predicate, t *Table) (func(row int) bool, bool) {
 	}
 }
 
-// Filter returns a new table containing the rows of t that satisfy p.
-// The predicate runs vectorized over the backing arrays where possible,
-// and selected rows are gathered column-wise into a dense copy.
+// Filter returns a new table containing the rows of t that satisfy p,
+// serially. See FilterPar.
 func Filter(t *Table, p predicate.Predicate) *Table {
-	bitmap := Selection(t, p)
-	var sel []int
-	for row, ok := range bitmap {
-		if ok {
-			sel = append(sel, row)
-		}
-	}
-	return t.gather(t.Name, sel)
+	return FilterPar(t, p, 1)
 }
 
-// gather materializes the given rows of t into a new table, column by
-// column.
-func (t *Table) gather(name string, rows []int) *Table {
-	out := NewTable(name, t.schema)
+// FilterPar is Filter on par workers (par <= 0 means DefaultParallelism):
+// the acceptance bitmap is evaluated morsel-parallel, per-morsel survivor
+// counts are prefix-summed into output offsets, and the surviving rows are
+// gathered column-wise into disjoint ranges of a dense copy. Row order is
+// preserved, so the result is byte-identical to the serial engine.
+func FilterPar(t *Table, p predicate.Predicate, par int) *Table {
+	bitmap := SelectionPar(t, p, par)
+	rows := selectedRows(bitmap, par)
+	out := NewTable(t.Name, t.schema)
 	out.nRows = len(rows)
-	for col, cd := range t.cols {
-		oc := out.cols[col]
+	gatherInto(out, t, t.order, rows, par)
+	return out
+}
+
+// selectedRows converts an acceptance bitmap into the (ascending) list of
+// selected row indices: per-morsel counts, an exclusive prefix sum, then a
+// parallel fill of each morsel's slot range.
+func selectedRows(sel []bool, par int) []int {
+	n := len(sel)
+	counts := make([]int, morselCount(n))
+	forEachMorsel(n, par, func(_, m, lo, hi int) {
+		c := 0
+		for _, ok := range sel[lo:hi] {
+			if ok {
+				c++
+			}
+		}
+		counts[m] = c
+	})
+	total := 0
+	for m, c := range counts {
+		counts[m] = total
+		total += c
+	}
+	rows := make([]int, total)
+	forEachMorsel(n, par, func(_, m, lo, hi int) {
+		idx := counts[m]
+		for i := lo; i < hi; i++ {
+			if sel[i] {
+				rows[idx] = i
+				idx++
+			}
+		}
+	})
+	return rows
+}
+
+// gatherInto materializes the named columns of src, restricted to rows (all
+// rows in order when rows is nil), into the same-named columns of out,
+// splitting the copy across par workers. out's row count must already be
+// set; each worker writes a disjoint output range, so the result is
+// independent of scheduling.
+func gatherInto(out, src *Table, cols []string, rows []int, par int) {
+	n := len(rows)
+	if rows == nil {
+		n = src.nRows
+	}
+	type colCopy struct {
+		src, dst *colData
+	}
+	copies := make([]colCopy, 0, len(cols))
+	for _, name := range cols {
+		cd := src.cols[name]
+		oc := out.cols[name]
+		oc.maxAbs = cd.maxAbs // conservative: a subset's max cannot exceed the source's
 		if cd.typ.Integral() {
-			oc.ints = make([]int64, len(rows))
-			for i, r := range rows {
-				oc.ints[i] = cd.ints[r]
-			}
+			oc.ints = make([]int64, n)
 		} else {
-			oc.reals = make([]float64, len(rows))
-			for i, r := range rows {
-				oc.reals[i] = cd.reals[r]
-			}
+			oc.reals = make([]float64, n)
 		}
 		if cd.nulls != nil {
-			oc.nulls = make([]bool, len(rows))
-			for i, r := range rows {
-				oc.nulls[i] = cd.nulls[r]
+			oc.nulls = make([]bool, n)
+		}
+		copies = append(copies, colCopy{src: cd, dst: oc})
+	}
+	forEachMorsel(n, par, func(_, _, lo, hi int) {
+		for _, cc := range copies {
+			if rows == nil {
+				if cc.src.typ.Integral() {
+					copy(cc.dst.ints[lo:hi], cc.src.ints[lo:hi])
+				} else {
+					copy(cc.dst.reals[lo:hi], cc.src.reals[lo:hi])
+				}
+				if cc.src.nulls != nil {
+					copy(cc.dst.nulls[lo:hi], cc.src.nulls[lo:hi])
+				}
+				continue
+			}
+			if cc.src.typ.Integral() {
+				dst, srcInts := cc.dst.ints, cc.src.ints
+				for i := lo; i < hi; i++ {
+					dst[i] = srcInts[rows[i]]
+				}
+			} else {
+				dst, srcReals := cc.dst.reals, cc.src.reals
+				for i := lo; i < hi; i++ {
+					dst[i] = srcReals[rows[i]]
+				}
+			}
+			if cc.src.nulls != nil {
+				dst, srcNulls := cc.dst.nulls, cc.src.nulls
+				for i := lo; i < hi; i++ {
+					dst[i] = srcNulls[rows[i]]
+				}
 			}
 		}
-	}
-	return out
+	})
 }
 
 // HashJoin performs an inner equi-join of l and r on integral key columns.
@@ -299,6 +349,17 @@ type JoinStats struct {
 // is hash probes and output materialization, while the added work is one
 // predicate evaluation per scanned row.
 func HashJoinWhere(l, r *Table, lkey, rkey string, lpred, rpred predicate.Predicate) (*Table, JoinStats, error) {
+	return HashJoinWherePar(l, r, lkey, rkey, lpred, rpred, 1)
+}
+
+// HashJoinWherePar is HashJoinWhere on par workers (par <= 0 means
+// DefaultParallelism). The build side is hash-partitioned into per-worker
+// maps (each partition owner scans the build column and keeps only its
+// keys, so no insert ever races), probe morsels run concurrently against
+// the read-only partitions into per-morsel match buffers, and the buffers
+// are stitched back in morsel order — exactly the serial probe order — so
+// the output is byte-identical to the serial engine at any worker count.
+func HashJoinWherePar(l, r *Table, lkey, rkey string, lpred, rpred predicate.Predicate, par int) (*Table, JoinStats, error) {
 	var stats JoinStats
 	lc, ok := l.schema.Lookup(lkey)
 	if !ok || !lc.Type.Integral() {
@@ -322,45 +383,91 @@ func HashJoinWhere(l, r *Table, lkey, rkey string, lpred, rpred predicate.Predic
 	}
 	var buildSel, probeSel []bool
 	if buildPred != nil {
-		buildSel = Selection(build, buildPred)
+		buildSel = SelectionPar(build, buildPred, par)
 	}
 	if probePred != nil {
-		probeSel = Selection(probe, probePred)
+		probeSel = SelectionPar(probe, probePred, par)
 	}
-	index := make(map[int64][]int, build.nRows)
+
+	// Build phase: P per-partition hash maps, each owned by one task. A
+	// partition's owner scans the whole build column but inserts only keys
+	// hashing to its partition — the scan is a cheap sequential read, and
+	// splitting inserts (the expensive part) P ways is what scales. Rows
+	// enter each key's bucket in ascending order, matching the serial map.
+	nPart := partitionCount(par, build.nRows)
+	mask := uint64(nPart - 1)
+	type partition struct {
+		index map[int64][]int
+		in    int
+	}
+	parts := make([]partition, nPart)
 	bk := build.cols[buildKey]
+	forEachTask(nPart, par, func(p int) {
+		index := make(map[int64][]int, build.nRows/nPart+1)
+		in := 0
+		for row := 0; row < build.nRows; row++ {
+			if bk.nulls != nil && bk.nulls[row] {
+				continue
+			}
+			if buildSel != nil && !buildSel[row] {
+				continue
+			}
+			k := bk.ints[row]
+			if mixHash(uint64(k))&mask != uint64(p) {
+				continue
+			}
+			in++
+			index[k] = append(index[k], row)
+		}
+		parts[p] = partition{index: index, in: in}
+	})
 	buildIn := 0
-	for row := 0; row < build.nRows; row++ {
-		if bk.nulls != nil && bk.nulls[row] {
-			continue
-		}
-		if buildSel != nil && !buildSel[row] {
-			continue
-		}
-		buildIn++
-		k := bk.ints[row]
-		index[k] = append(index[k], row)
+	for p := range parts {
+		buildIn += parts[p].in
 	}
+
+	// Probe phase: morsels of the probe side run concurrently, each
+	// accumulating its matches in its own buffer slot; concatenating the
+	// slots in morsel order reproduces the serial probe order.
+	type matches struct {
+		lrows, rrows []int
+		in           int
+	}
+	bufs := make([]matches, morselCount(probe.nRows))
 	pk := probe.cols[probeKey]
-	probeIn := 0
-	var lrows, rrows []int
-	for row := 0; row < probe.nRows; row++ {
-		if pk.nulls != nil && pk.nulls[row] {
-			continue
-		}
-		if probeSel != nil && !probeSel[row] {
-			continue
-		}
-		probeIn++
-		for _, brow := range index[pk.ints[row]] {
-			if buildLeft {
-				lrows = append(lrows, brow)
-				rrows = append(rrows, row)
-			} else {
-				lrows = append(lrows, row)
-				rrows = append(rrows, brow)
+	forEachMorsel(probe.nRows, par, func(_, m, lo, hi int) {
+		var mb matches
+		for row := lo; row < hi; row++ {
+			if pk.nulls != nil && pk.nulls[row] {
+				continue
+			}
+			if probeSel != nil && !probeSel[row] {
+				continue
+			}
+			mb.in++
+			k := pk.ints[row]
+			for _, brow := range parts[mixHash(uint64(k))&mask].index[k] {
+				if buildLeft {
+					mb.lrows = append(mb.lrows, brow)
+					mb.rrows = append(mb.rrows, row)
+				} else {
+					mb.lrows = append(mb.lrows, row)
+					mb.rrows = append(mb.rrows, brow)
+				}
 			}
 		}
+		bufs[m] = mb
+	})
+	probeIn, total := 0, 0
+	for m := range bufs {
+		probeIn += bufs[m].in
+		total += len(bufs[m].lrows)
+	}
+	lrows := make([]int, 0, total)
+	rrows := make([]int, 0, total)
+	for m := range bufs {
+		lrows = append(lrows, bufs[m].lrows...)
+		rrows = append(rrows, bufs[m].rrows...)
 	}
 	if buildLeft {
 		stats.LeftIn, stats.RightIn = buildIn, probeIn
@@ -368,36 +475,39 @@ func HashJoinWhere(l, r *Table, lkey, rkey string, lpred, rpred predicate.Predic
 		stats.LeftIn, stats.RightIn = probeIn, buildIn
 	}
 	// Materialize column-wise from each side's backing arrays.
-	out.nRows = len(lrows)
-	fill := func(src *Table, rows []int) {
-		for col, cd := range src.cols {
-			oc := out.cols[col]
-			if cd.typ.Integral() {
-				oc.ints = make([]int64, len(rows))
-				for i, r := range rows {
-					oc.ints[i] = cd.ints[r]
-				}
-			} else {
-				oc.reals = make([]float64, len(rows))
-				for i, r := range rows {
-					oc.reals[i] = cd.reals[r]
-				}
-			}
-			if cd.nulls != nil {
-				oc.nulls = make([]bool, len(rows))
-				for i, r := range rows {
-					oc.nulls[i] = cd.nulls[r]
-				}
-			}
-		}
-	}
-	fill(l, lrows)
-	fill(r, rrows)
+	out.nRows = total
+	gatherInto(out, l, l.order, lrows, par)
+	gatherInto(out, r, r.order, rrows, par)
 	return out, stats, nil
 }
 
-// Project returns a table with only the named columns.
+// partitionCount picks the build-partition count: the smallest power of two
+// covering the worker count (the partition mask needs a power of two),
+// capped so tiny builds do not shatter into empty maps.
+func partitionCount(par, buildRows int) int {
+	par = normalizeParallelism(par, buildRows)
+	n := 1
+	for n < par {
+		n *= 2
+	}
+	const maxPartitions = 64
+	if n > maxPartitions {
+		n = maxPartitions
+	}
+	return n
+}
+
+// Project returns a table with only the named columns, serially. See
+// ProjectPar.
 func Project(t *Table, cols []string) (*Table, error) {
+	return ProjectPar(t, cols, 1)
+}
+
+// ProjectPar is Project on par workers (par <= 0 means DefaultParallelism).
+// Projection never touches row values: it reuses the columnar gather path
+// to copy each kept column's backing arrays, morsel-parallel, instead of
+// materializing rows one at a time.
+func ProjectPar(t *Table, cols []string, par int) (*Table, error) {
 	var sub []predicate.Column
 	for _, name := range cols {
 		c, ok := t.schema.Lookup(name)
@@ -407,108 +517,7 @@ func Project(t *Table, cols []string) (*Table, error) {
 		sub = append(sub, c)
 	}
 	out := NewTable(t.Name, predicate.NewSchema(sub...))
-	for row := 0; row < t.nRows; row++ {
-		vals := make([]predicate.Value, len(cols))
-		for i, name := range cols {
-			vals[i] = t.Value(row, name)
-		}
-		out.AppendRow(vals...)
-	}
-	return out, nil
-}
-
-// AggFunc is an aggregate function kind.
-type AggFunc int
-
-const (
-	// AggCount is COUNT(*).
-	AggCount AggFunc = iota
-	// AggSum is SUM(col).
-	AggSum
-	// AggMin is MIN(col).
-	AggMin
-	// AggMax is MAX(col).
-	AggMax
-)
-
-// AggSpec names one aggregate output.
-type AggSpec struct {
-	Func AggFunc
-	Col  string // ignored for AggCount
-	As   string
-}
-
-// Aggregate groups t by integral group-by columns and computes the given
-// aggregates over integral inputs.
-func Aggregate(t *Table, groupBy []string, aggs []AggSpec) (*Table, error) {
-	for _, g := range groupBy {
-		c, ok := t.schema.Lookup(g)
-		if !ok || !c.Type.Integral() {
-			return nil, fmt.Errorf("engine: GROUP BY column %q must be integral", g)
-		}
-	}
-	var outCols []predicate.Column
-	for _, g := range groupBy {
-		c, _ := t.schema.Lookup(g)
-		outCols = append(outCols, c)
-	}
-	for _, a := range aggs {
-		outCols = append(outCols, predicate.Column{Name: a.As, Type: predicate.TypeInteger, NotNull: true})
-	}
-	out := NewTable(t.Name+"_agg", predicate.NewSchema(outCols...))
-
-	type groupState struct {
-		keys []int64
-		accs []int64
-		n    []int64
-	}
-	groups := map[string]*groupState{}
-	var orderKeys []string
-	keyBuf := make([]int64, len(groupBy))
-	for row := 0; row < t.nRows; row++ {
-		key := ""
-		for i, g := range groupBy {
-			v := t.Value(row, g)
-			keyBuf[i] = v.Int
-			key += fmt.Sprintf("%d|", v.Int)
-		}
-		gs, ok := groups[key]
-		if !ok {
-			gs = &groupState{keys: append([]int64(nil), keyBuf...), accs: make([]int64, len(aggs)), n: make([]int64, len(aggs))}
-			groups[key] = gs
-			orderKeys = append(orderKeys, key)
-		}
-		for i, a := range aggs {
-			switch a.Func {
-			case AggCount:
-				gs.accs[i]++
-			case AggSum:
-				gs.accs[i] += t.Value(row, a.Col).Int
-			case AggMin:
-				v := t.Value(row, a.Col).Int
-				if gs.n[i] == 0 || v < gs.accs[i] {
-					gs.accs[i] = v
-				}
-				gs.n[i]++
-			case AggMax:
-				v := t.Value(row, a.Col).Int
-				if gs.n[i] == 0 || v > gs.accs[i] {
-					gs.accs[i] = v
-				}
-				gs.n[i]++
-			}
-		}
-	}
-	for _, key := range orderKeys {
-		gs := groups[key]
-		vals := make([]predicate.Value, 0, len(groupBy)+len(aggs))
-		for _, k := range gs.keys {
-			vals = append(vals, predicate.IntVal(k))
-		}
-		for _, a := range gs.accs {
-			vals = append(vals, predicate.IntVal(a))
-		}
-		out.AppendRow(vals...)
-	}
+	out.nRows = t.nRows
+	gatherInto(out, t, cols, nil, par)
 	return out, nil
 }

@@ -7,126 +7,244 @@ import (
 )
 
 // Selection evaluates a predicate over every row of t and returns the
-// acceptance bitmap. Conjunctions of linear integer comparisons are
-// evaluated column-at-a-time in tight loops over the backing arrays — no
-// per-row closure calls — which makes a pushed-down filter an order of
-// magnitude cheaper than a hash probe, the cost relationship predicate
-// pushdown relies on. Anything outside that shape falls back to the
-// compiled per-row path.
+// acceptance bitmap, serially. See SelectionPar.
 func Selection(t *Table, p predicate.Predicate) []bool {
+	return SelectionPar(t, p, 1)
+}
+
+// SelectionPar evaluates a predicate over every row of t on par workers
+// (par <= 0 means DefaultParallelism) and returns the acceptance bitmap.
+// Conjunctions of linear integer comparisons are compiled once into
+// column-at-a-time kernels — no per-row closure calls — and then run
+// morsel-parallel over disjoint row ranges, which makes a pushed-down
+// filter an order of magnitude cheaper than a hash probe, the cost
+// relationship predicate pushdown relies on. Anything outside that shape
+// falls back to the compiled per-row path, likewise sharded over morsels.
+// The bitmap is identical at any worker count: rows are independent and
+// each worker writes only its own range.
+func SelectionPar(t *Table, p predicate.Predicate, par int) []bool {
 	sel := make([]bool, t.nRows)
-	for i := range sel {
-		sel[i] = true
-	}
-	if applyVectorized(t, p, sel) {
+	if prog, ok := compileVectorized(t, p); ok {
+		forEachMorsel(t.nRows, par, func(_, _, lo, hi int) {
+			chunk := sel[lo:hi]
+			for i := range chunk {
+				chunk[i] = true
+			}
+			prog.run(chunk, lo)
+		})
 		return sel
 	}
 	accept := CompilePredicate(p, t)
-	for i := range sel {
-		sel[i] = accept(i)
-	}
+	forEachMorsel(t.nRows, par, func(_, _, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sel[i] = accept(i)
+		}
+	})
 	return sel
 }
 
-// applyVectorized ANDs p's acceptance into sel column-at-a-time. Returns
-// false when p is outside the vectorizable fragment (sel is then garbage
-// and the caller must fall back).
-func applyVectorized(t *Table, p predicate.Predicate, sel []bool) bool {
+// vecKernel ANDs one predicate's acceptance into sel, where sel[i]
+// corresponds to row lo+i of the table.
+type vecKernel func(sel []bool, lo int)
+
+// vecProgram is a conjunction of vectorized kernels compiled against one
+// table. Compilation happens once per (predicate, table); running is pure
+// over disjoint row ranges, so morsels execute concurrently.
+type vecProgram struct {
+	kernels []vecKernel
+}
+
+func (v *vecProgram) run(sel []bool, lo int) {
+	for _, k := range v.kernels {
+		k(sel, lo)
+	}
+}
+
+// compileVectorized compiles p into a vecProgram, or reports ok=false when
+// p is outside the vectorizable fragment (conjunctions of linear integer
+// comparisons over NOT NULL columns whose evaluation provably fits int64).
+func compileVectorized(t *Table, p predicate.Predicate) (*vecProgram, bool) {
+	prog := &vecProgram{}
+	if !prog.compile(t, p) {
+		return nil, false
+	}
+	return prog, true
+}
+
+func (v *vecProgram) compile(t *Table, p predicate.Predicate) bool {
 	switch x := p.(type) {
 	case *predicate.And:
 		for _, q := range x.Preds {
-			if !applyVectorized(t, q, sel) {
+			if !v.compile(t, q) {
 				return false
 			}
 		}
 		return true
 	case *predicate.Literal:
 		if !x.B {
-			for i := range sel {
-				sel[i] = false
-			}
+			v.kernels = append(v.kernels, func(sel []bool, _ int) {
+				for i := range sel {
+					sel[i] = false
+				}
+			})
 		}
 		return true
 	case *predicate.Compare:
-		return applyCompare(t, x, sel)
+		return v.compileCompare(t, x)
 	default:
 		return false
 	}
 }
 
-// applyCompare vectorizes one linear integer comparison. The comparison is
-// normalized so only three loop shapes exist: Σ + k < 0 (after negating
-// coefficients for > and widening constants for the non-strict forms over
-// integers), Σ + k = 0, and Σ + k ≠ 0.
-func applyCompare(t *Table, x *predicate.Compare, sel []bool) bool {
-	lin, err := predicate.Linearize(predicate.Sub(x.Left, x.Right))
-	if err != nil {
+// compileCompare vectorizes one linear integer comparison. The comparison
+// is normalized so only three kernel shapes exist: Σ + k < 0 (after
+// negating coefficients for > and widening constants for the non-strict
+// forms over integers), Σ + k = 0, and Σ + k ≠ 0.
+func (v *vecProgram) compileCompare(t *Table, x *predicate.Compare) bool {
+	lc, ok := linearizeCompare(x, t)
+	if !ok {
 		return false
 	}
-	lcm := int64(1)
-	for _, col := range lin.Columns() {
-		d := lin.Coeffs[col].Denom()
-		if !d.IsInt64() {
-			return false
-		}
-		lcm = lcmInt64(lcm, d.Int64())
-	}
-	if d := lin.Const.Denom(); !d.IsInt64() {
-		return false
-	} else {
-		lcm = lcmInt64(lcm, d.Int64())
-	}
-	if lcm <= 0 || lcm > 1<<20 {
-		return false
-	}
-	lin.Scale(ratFromInt(lcm))
-
-	op := x.Op
+	op := lc.op
 	// Normalize > and >= to < and <= by negating the whole term.
 	if op == predicate.CmpGT || op == predicate.CmpGE {
-		lin.Scale(big.NewRat(-1, 1))
+		for i := range lc.coefs {
+			lc.coefs[i] = -lc.coefs[i]
+		}
+		lc.k = -lc.k
 		op = op.Flip()
 	}
-	var cols [][]int64
-	var coefs []int64
-	for _, col := range lin.Columns() {
-		c, ok := t.schema.Lookup(col)
-		if !ok || !c.Type.Integral() || !c.NotNull {
-			return false
-		}
-		coef := lin.Coeffs[col]
-		if !coef.IsInt() || !coef.Num().IsInt64() {
-			return false
-		}
-		coefs = append(coefs, coef.Num().Int64())
-		cols = append(cols, t.cols[col].ints)
-	}
-	if !lin.Const.IsInt() || !lin.Const.Num().IsInt64() {
-		return false
-	}
-	k := lin.Const.Num().Int64()
-	// Integer tightening: Σ + k <= 0  ==  Σ + k - 1 < 0.
+	// Integer tightening: Σ + k <= 0  ==  Σ + k - 1 < 0. (linearizeCompare
+	// budgets one unit of slack on |k| for exactly this step.)
 	if op == predicate.CmpLE {
 		op = predicate.CmpLT
-		k--
+		lc.k--
 	}
-
+	cols, coefs, k := lc.cols, lc.coefs, lc.k
 	switch op {
 	case predicate.CmpLT:
-		vectorLT(cols, coefs, k, sel)
+		v.kernels = append(v.kernels, func(sel []bool, lo int) {
+			vectorLT(cols, coefs, k, sel, lo)
+		})
 	case predicate.CmpEQ:
-		vectorEQ(cols, coefs, k, sel, false)
+		v.kernels = append(v.kernels, func(sel []bool, lo int) {
+			vectorEQ(cols, coefs, k, sel, lo, false)
+		})
 	case predicate.CmpNE:
-		vectorEQ(cols, coefs, k, sel, true)
+		v.kernels = append(v.kernels, func(sel []bool, lo int) {
+			vectorEQ(cols, coefs, k, sel, lo, true)
+		})
 	default:
 		return false
 	}
 	return true
 }
 
-// vectorLT ANDs (Σ coefᵢ·colᵢ + k < 0) into sel, with unrolled shapes for
-// the one- and two-column cases that dominate pushed-down predicates.
-func vectorLT(cols [][]int64, coefs []int64, k int64, sel []bool) {
+// linearComparison is a comparison of Σ coefᵢ·colᵢ + k against zero over
+// raw int64 column arrays, proven by linearizeCompare not to overflow.
+type linearComparison struct {
+	cols  [][]int64
+	coefs []int64
+	k     int64
+	op    predicate.CmpOp
+}
+
+// linearizeCompare normalizes a comparison of linear integer expressions
+// into Σ coefᵢ·colᵢ + k `op` 0 over t's backing arrays. It returns ok=false
+// when the comparison is non-linear, references non-integral or nullable
+// columns, has fractional coefficients that do not clear into int64, or —
+// crucially — when a conservative bound on |k| + Σ |coefᵢ|·max|colᵢ| does
+// not fit in int64: the flat multiply-add kernels use wrapping machine
+// arithmetic, so large coefficients or column values must bail to the slow
+// exact path instead of silently wrapping.
+func linearizeCompare(x *predicate.Compare, t *Table) (linearComparison, bool) {
+	var lc linearComparison
+	lin, err := predicate.Linearize(predicate.Sub(x.Left, x.Right))
+	if err != nil {
+		return lc, false
+	}
+	// Clear denominators: scaling by a positive integer preserves every
+	// comparison against zero.
+	lcm := int64(1)
+	for _, col := range lin.Columns() {
+		d := lin.Coeffs[col].Denom()
+		if !d.IsInt64() {
+			return lc, false
+		}
+		lcm = lcmInt64(lcm, d.Int64())
+	}
+	if d := lin.Const.Denom(); !d.IsInt64() {
+		return lc, false
+	} else {
+		lcm = lcmInt64(lcm, d.Int64())
+	}
+	if lcm <= 0 || lcm > 1<<20 {
+		return lc, false
+	}
+	lin.Scale(ratFromInt(lcm))
+
+	// The overflow guard accumulates |k| + Σ |coefᵢ|·max|colᵢ| alongside
+	// term extraction: every partial sum of Σ coefᵢ·colᵢ + k is bounded in
+	// magnitude by that total, and one extra unit covers the k-1 tightening
+	// of <= and the coefficient negation of >/>= (|−k| = |k| except at
+	// MinInt64, which the +1 absorbs). Unless the bound fits in int64 the
+	// flat multiply-add kernels could silently wrap, so the comparison
+	// bails to the slow exact path.
+	var bound uint64
+	for _, col := range lin.Columns() {
+		c, ok := t.schema.Lookup(col)
+		if !ok || !c.Type.Integral() || !c.NotNull {
+			return lc, false
+		}
+		coef := lin.Coeffs[col]
+		if !coef.IsInt() || !coef.Num().IsInt64() {
+			return lc, false
+		}
+		cv := coef.Num().Int64()
+		cd := t.cols[col]
+		bound = addBound(bound, mulBound(absU64(cv), cd.maxAbs))
+		lc.coefs = append(lc.coefs, cv)
+		lc.cols = append(lc.cols, cd.ints)
+	}
+	if !lin.Const.IsInt() || !lin.Const.Num().IsInt64() {
+		return lc, false
+	}
+	lc.k = lin.Const.Num().Int64()
+	lc.op = x.Op
+	bound = addBound(bound, addBound(absU64(lc.k), 1))
+	if bound > maxInt64U {
+		return lc, false
+	}
+	return lc, true
+}
+
+const maxInt64U = uint64(1<<63 - 1)
+
+// addBound adds two magnitude bounds, saturating above int64 range.
+func addBound(a, b uint64) uint64 {
+	s := a + b
+	if s < a || s > maxInt64U {
+		return maxInt64U + 1
+	}
+	return s
+}
+
+// mulBound multiplies two magnitude bounds, saturating above int64 range.
+func mulBound(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/a != b || p > maxInt64U {
+		return maxInt64U + 1
+	}
+	return p
+}
+
+// vectorLT ANDs (Σ coefᵢ·colᵢ + k < 0) into sel for rows [lo, lo+len(sel)),
+// with unrolled shapes for the one- and two-column cases that dominate
+// pushed-down predicates.
+func vectorLT(cols [][]int64, coefs []int64, k int64, sel []bool, lo int) {
 	switch len(cols) {
 	case 0:
 		if k >= 0 {
@@ -135,7 +253,7 @@ func vectorLT(cols [][]int64, coefs []int64, k int64, sel []bool) {
 			}
 		}
 	case 1:
-		a := cols[0]
+		a := cols[0][lo:]
 		ca := coefs[0]
 		if ca == 1 {
 			for i := range sel {
@@ -151,7 +269,7 @@ func vectorLT(cols [][]int64, coefs []int64, k int64, sel []bool) {
 			}
 		}
 	case 2:
-		a, b := cols[0], cols[1]
+		a, b := cols[0][lo:], cols[1][lo:]
 		ca, cb := coefs[0], coefs[1]
 		if ca == 1 && cb == -1 {
 			for i := range sel {
@@ -173,23 +291,27 @@ func vectorLT(cols [][]int64, coefs []int64, k int64, sel []bool) {
 			}
 			s := k
 			for j, col := range cols {
-				s += coefs[j] * col[i]
+				s += coefs[j] * col[lo+i]
 			}
 			sel[i] = s < 0
 		}
 	}
 }
 
-// vectorEQ ANDs (Σ + k = 0), or its negation, into sel.
-func vectorEQ(cols [][]int64, coefs []int64, k int64, sel []bool, negate bool) {
+// vectorEQ ANDs (Σ + k = 0), or its negation, into sel for rows
+// [lo, lo+len(sel)).
+func vectorEQ(cols [][]int64, coefs []int64, k int64, sel []bool, lo int, negate bool) {
 	for i := range sel {
 		if !sel[i] {
 			continue
 		}
 		s := k
 		for j, col := range cols {
-			s += coefs[j] * col[i]
+			s += coefs[j] * col[lo+i]
 		}
 		sel[i] = (s == 0) != negate
 	}
 }
+
+// ratFromInt returns v as a big.Rat (helper shared with exec.go).
+func ratFromInt(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }

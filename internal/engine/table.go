@@ -26,6 +26,11 @@ type colData struct {
 	ints  []int64
 	reals []float64
 	nulls []bool // nil when the column is NOT NULL
+	// maxAbs is an upper bound on |v| over the stored ints, maintained on
+	// append and carried (conservatively) through columnar copies. The
+	// compiled filter fast paths use it to prove Σ coefᵢ·colᵢ + k cannot
+	// overflow int64 before committing to wrapping machine arithmetic.
+	maxAbs uint64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -65,11 +70,24 @@ func (t *Table) AppendRow(vals ...predicate.Value) {
 		}
 		if cd.typ.Integral() {
 			cd.ints = append(cd.ints, vals[i].Int)
+			if a := absU64(vals[i].Int); a > cd.maxAbs {
+				cd.maxAbs = a
+			}
 		} else {
 			cd.reals = append(cd.reals, vals[i].Real)
 		}
 	}
 	t.nRows++
+}
+
+// absU64 returns |v| exactly, including |math.MinInt64| = 2⁶³ which does
+// not fit in int64.
+func absU64(v int64) uint64 {
+	u := uint64(v)
+	if v < 0 {
+		u = -u
+	}
+	return u
 }
 
 // Value returns the value at (row, col).

@@ -45,6 +45,10 @@ type Config struct {
 	ScaleFactors []float64
 	// MaxIterations overrides SIA's iteration budget (paper: 41).
 	MaxIterations int
+	// Parallelism is the engine worker count used when executing plans
+	// (Fig. 9, Table 4, Motivating). Non-positive means
+	// engine.DefaultParallelism; results are identical at any setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {

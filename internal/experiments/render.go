@@ -121,6 +121,9 @@ func RenderFig8(f Fig8Result) string {
 // Table 4).
 func RenderFig9(records []RuntimeRecord, summaries []Fig9Summary) string {
 	var b strings.Builder
+	if errs, runs := synthErrCount(records); errs > 0 {
+		fmt.Fprintf(&b, "synthesis errors: %d of %d query runs executed unrewritten (see RuntimeRecord.SynthesisErr)\n", errs, runs)
+	}
 	for _, s := range summaries {
 		fmt.Fprintf(&b, "scale=%g: rewritten=%d faster=%d (sel %.2f) 2x-faster=%d (sel %.2f) slower=%d (sel %.2f) 2x-slower=%d (sel %.2f)\n",
 			s.ScaleFactor, s.Rewritten,
@@ -141,6 +144,18 @@ func RenderFig9(records []RuntimeRecord, summaries []Fig9Summary) string {
 			r.Speedup(), r.Selectivity)
 	}
 	return b.String()
+}
+
+// synthErrCount tallies the query runs whose synthesis attempt failed
+// outright (as opposed to validly declining to rewrite).
+func synthErrCount(records []RuntimeRecord) (errs, runs int) {
+	for _, r := range records {
+		runs++
+		if r.SynthesisErr != "" {
+			errs++
+		}
+	}
+	return errs, runs
 }
 
 // RenderFig6 prints the case-study distributions (Fig. 6).

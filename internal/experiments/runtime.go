@@ -23,6 +23,11 @@ type RuntimeRecord struct {
 	// Rewritten reports whether Sia produced a valid lineitem-side
 	// predicate for this query (the paper's "114 of 200").
 	Rewritten bool
+	// SynthesisErr is the error text of a failed synthesis attempt (empty
+	// when synthesis succeeded or was never attempted). A failed synthesis
+	// is not silent: the query runs unrewritten, and the render surfaces
+	// the error count.
+	SynthesisErr string
 	// Synthesized is the predicate pushed below the join (nil if none).
 	Synthesized predicate.Predicate
 	// Original and RewrittenTime are the measured execution times.
@@ -51,6 +56,7 @@ func Fig9(cfg Config) ([]RuntimeRecord, error) {
 	// Synthesis is data-independent: do it once per query.
 	type rewriteInfo struct {
 		pred predicate.Predicate // synthesized lineitem predicate, or nil
+		err  error               // synthesis failure, recorded per query
 	}
 	schema := tpch.JoinSchema()
 	rewrites := make([]rewriteInfo, len(queries))
@@ -70,6 +76,7 @@ func Fig9(cfg Config) ([]RuntimeRecord, error) {
 			opts.MaxIterations = cfg.MaxIterations
 			res, err := core.Synthesize(q.Pred, cols, schema, opts)
 			if err != nil {
+				rewrites[i] = rewriteInfo{err: err}
 				return
 			}
 			if res.Predicate != nil && res.Valid {
@@ -87,6 +94,9 @@ func Fig9(cfg Config) ([]RuntimeRecord, error) {
 		cat.Add(lineitem)
 		for i, q := range queries {
 			rec := RuntimeRecord{QueryID: q.ID, ScaleFactor: sf}
+			if serr := rewrites[i].err; serr != nil {
+				rec.SynthesisErr = serr.Error()
+			}
 			parsed, err := sql.Parse(q.SQL(), cat)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: parse query %d: %w", q.ID, err)
@@ -98,7 +108,7 @@ func Fig9(cfg Config) ([]RuntimeRecord, error) {
 			// Original: plain pushdown only (which moves nothing to
 			// lineitem, by the workload's construction).
 			origPlan := plan.PushDownFilters(node)
-			origTable, origStats, err := executeBest(origPlan, cat, 3)
+			origTable, origStats, err := executeBest(origPlan, cat, 3, cfg.Parallelism)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: execute query %d: %w", q.ID, err)
 			}
@@ -111,7 +121,7 @@ func Fig9(cfg Config) ([]RuntimeRecord, error) {
 				rec.Selectivity = selectivity(lineitem, rw.pred)
 				rwNode := &plan.Filter{Pred: predicate.NewAnd(parsed.Where, rw.pred), Input: join(node)}
 				rwPlan := plan.PushDownFilters(rwNode)
-				rwTable, rwStats, err := executeBest(rwPlan, cat, 3)
+				rwTable, rwStats, err := executeBest(rwPlan, cat, 3, cfg.Parallelism)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: execute rewritten %d: %w", q.ID, err)
 				}
@@ -130,11 +140,11 @@ func Fig9(cfg Config) ([]RuntimeRecord, error) {
 // executeBest runs a plan repeatedly and returns the fastest run (the
 // stable estimate of the plan's cost) plus the result table for the
 // equivalence check.
-func executeBest(n plan.Node, cat *plan.Catalog, runs int) (*engine.Table, *plan.ExecStats, error) {
+func executeBest(n plan.Node, cat *plan.Catalog, runs, parallelism int) (*engine.Table, *plan.ExecStats, error) {
 	var bestTable *engine.Table
 	var bestStats *plan.ExecStats
 	for i := 0; i < runs; i++ {
-		table, stats, err := plan.Execute(n, cat)
+		table, stats, err := plan.ExecuteOpts(n, cat, plan.ExecOptions{Parallelism: parallelism})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -283,7 +293,7 @@ func Motivating(sf float64) (*MotivatingResult, error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		table, stats, err := executeBest(plan.PushDownFilters(node), cat, 3)
+		table, stats, err := executeBest(plan.PushDownFilters(node), cat, 3, 0)
 		if err != nil {
 			return 0, 0, 0, err
 		}

@@ -20,12 +20,27 @@ type ExecStats struct {
 	OutputRows int
 }
 
-// Execute runs a logical plan against the catalog, materializing each
-// operator bottom-up.
+// ExecOptions tunes plan execution without changing its results.
+type ExecOptions struct {
+	// Parallelism is the engine worker count for every operator in the
+	// plan; non-positive means engine.DefaultParallelism (one worker per
+	// CPU). The engine guarantees byte-identical results at any setting,
+	// so this is purely a performance knob.
+	Parallelism int
+}
+
+// Execute runs a logical plan against the catalog with default options
+// (engine parallelism at DefaultParallelism), materializing each operator
+// bottom-up.
 func Execute(n Node, c *Catalog) (*engine.Table, *ExecStats, error) {
+	return ExecuteOpts(n, c, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with explicit options.
+func ExecuteOpts(n Node, c *Catalog, opts ExecOptions) (*engine.Table, *ExecStats, error) {
 	stats := &ExecStats{}
 	start := time.Now()
-	out, err := exec(n, c, stats)
+	out, err := exec(n, c, stats, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -34,16 +49,16 @@ func Execute(n Node, c *Catalog) (*engine.Table, *ExecStats, error) {
 	return out, stats, nil
 }
 
-func exec(n Node, c *Catalog, stats *ExecStats) (*engine.Table, error) {
+func exec(n Node, c *Catalog, stats *ExecStats, opts ExecOptions) (*engine.Table, error) {
 	switch x := n.(type) {
 	case *Scan:
 		return c.Table(x.TableName)
 	case *Filter:
-		in, err := exec(x.Input, c, stats)
+		in, err := exec(x.Input, c, stats, opts)
 		if err != nil {
 			return nil, err
 		}
-		return engine.Filter(in, x.Pred), nil
+		return engine.FilterPar(in, x.Pred, opts.Parallelism), nil
 	case *Join:
 		// Fuse a Filter directly above a child into the join's build or
 		// probe phase: the pushed-down predicate is then evaluated during
@@ -51,32 +66,32 @@ func exec(n Node, c *Catalog, stats *ExecStats) (*engine.Table, error) {
 		// real engines execute pushdown.
 		lchild, lpred := fusedChild(x.Left)
 		rchild, rpred := fusedChild(x.Right)
-		l, err := exec(lchild, c, stats)
+		l, err := exec(lchild, c, stats, opts)
 		if err != nil {
 			return nil, err
 		}
-		r, err := exec(rchild, c, stats)
+		r, err := exec(rchild, c, stats, opts)
 		if err != nil {
 			return nil, err
 		}
-		out, jstats, err := engine.HashJoinWhere(l, r, x.LeftKey, x.RightKey, lpred, rpred)
+		out, jstats, err := engine.HashJoinWherePar(l, r, x.LeftKey, x.RightKey, lpred, rpred, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		stats.JoinInputRows += jstats.LeftIn + jstats.RightIn
 		return out, nil
 	case *Project:
-		in, err := exec(x.Input, c, stats)
+		in, err := exec(x.Input, c, stats, opts)
 		if err != nil {
 			return nil, err
 		}
-		return engine.Project(in, x.Cols)
+		return engine.ProjectPar(in, x.Cols, opts.Parallelism)
 	case *Aggregate:
-		in, err := exec(x.Input, c, stats)
+		in, err := exec(x.Input, c, stats, opts)
 		if err != nil {
 			return nil, err
 		}
-		return engine.Aggregate(in, x.GroupBy, x.Aggs)
+		return engine.AggregatePar(in, x.GroupBy, x.Aggs, opts.Parallelism)
 	default:
 		return nil, fmt.Errorf("plan: unknown node %T", n)
 	}
