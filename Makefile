@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine lint fuzz-smoke check clean
+.PHONY: build vet test race race-engine race-serve lint fuzz-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ race-engine:
 	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/engine/
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/engine/
 
+# The result cache's singleflight and the siad handlers are the other
+# concurrency hotspots; always run them racy and fresh.
+race-serve:
+	$(GO) test -race -count=1 ./internal/cache/ ./cmd/siad/
+
 lint:
 	$(GO) run ./cmd/sialint ./...
 
@@ -27,7 +32,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
 
 # check is the full CI gate: everything must pass before merging.
-check: build vet race race-engine lint
+check: build vet race race-engine race-serve lint
 
 clean:
 	$(GO) clean ./...

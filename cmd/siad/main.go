@@ -1,0 +1,292 @@
+// Command siad serves predicate synthesis over HTTP: a long-lived process
+// that amortizes Sia's synthesis cost across recurring queries (§6.2 of the
+// paper argues reuse is the common case) through an in-memory result cache
+// with request coalescing.
+//
+// Endpoints:
+//
+//	POST /synthesize  — synthesize a reduction (JSON in, JSON out)
+//	GET  /healthz     — liveness probe
+//	GET  /stats       — uptime, request counts, cache counters
+//
+// A request names its schema inline, so one daemon serves any catalog:
+//
+//	{
+//	  "predicate": "a - b < 20 AND b < 0",
+//	  "cols": ["a"],
+//	  "schema": [
+//	    {"name": "a", "type": "int"},
+//	    {"name": "b", "type": "int", "nullable": true}
+//	  ],
+//	  "timeout_ms": 5000
+//	}
+//
+// Each request runs under a deadline: timeout_ms when given (capped by
+// -max-timeout), -default-timeout otherwise. A request that exceeds its
+// deadline gets 504 with an error naming the timeout; malformed input gets
+// 400; identical concurrent requests share a single synthesis run and
+// repeated ones are answered from the cache.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sia/internal/cache"
+	"sia/internal/core"
+	"sia/internal/predicate"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	capacity := flag.Int("cache", cache.DefaultCapacity, "result-cache capacity (entries)")
+	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the client sets none")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper bound on client-requested deadlines")
+	flag.Parse()
+
+	srv := newServer(*capacity, *defaultTimeout, *maxTimeout)
+	log.Printf("siad listening on %s (cache capacity %d)", *addr, *capacity)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "siad:", err)
+		os.Exit(1)
+	}
+}
+
+// server is the daemon's state: one shared synthesis cache plus counters.
+// It is separated from main so the handler tests drive it via httptest.
+type server struct {
+	synth          *cache.Synthesizer
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	start          time.Time
+	requests       atomic.Uint64
+	failures       atomic.Uint64
+}
+
+func newServer(capacity int, defaultTimeout, maxTimeout time.Duration) *server {
+	return &server{
+		synth:          cache.NewSynthesizer(capacity),
+		defaultTimeout: defaultTimeout,
+		maxTimeout:     maxTimeout,
+		start:          time.Now(),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", s.handleSynthesize)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// synthesizeRequest is the wire form of one synthesis call. Durations are
+// carried as integral milliseconds, matching how query optimizers configure
+// solver timeouts.
+type synthesizeRequest struct {
+	Predicate string          `json:"predicate"`
+	Cols      []string        `json:"cols"`
+	Schema    []schemaColumn  `json:"schema"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Options   *requestOptions `json:"options,omitempty"`
+}
+
+type schemaColumn struct {
+	Name     string `json:"name"`
+	Type     string `json:"type"`
+	Nullable bool   `json:"nullable,omitempty"`
+}
+
+type requestOptions struct {
+	MaxIterations       int   `json:"max_iterations,omitempty"`
+	InitialTrue         int   `json:"initial_true,omitempty"`
+	InitialFalse        int   `json:"initial_false,omitempty"`
+	SamplesPerIteration int   `json:"samples_per_iteration,omitempty"`
+	MaxDenominator      int64 `json:"max_denominator,omitempty"`
+	NonZeroSamples      bool  `json:"non_zero_samples,omitempty"`
+	SolverTimeoutMS     int64 `json:"solver_timeout_ms,omitempty"`
+	TimeoutMS           int64 `json:"timeout_ms,omitempty"`
+}
+
+type synthesizeResponse struct {
+	// Predicate is the synthesized reduction in SQL syntax, or "" when
+	// only the trivial TRUE predicate is valid.
+	Predicate    string `json:"predicate"`
+	Valid        bool   `json:"valid"`
+	Optimal      bool   `json:"optimal"`
+	Iterations   int    `json:"iterations"`
+	TrueSamples  int    `json:"true_samples"`
+	FalseSamples int    `json:"false_samples"`
+	GaveUp       string `json:"gave_up,omitempty"`
+	// Cached reports whether the response was served without running a
+	// synthesis loop in this request (a cache hit or a coalesced join).
+	Cached    bool  `json:"cached"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req synthesizeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+
+	schema, err := buildSchema(req.Schema)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	pred, err := predicate.Parse(req.Predicate, schema)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing predicate: %w", err))
+		return
+	}
+	opts, err := buildOptions(req.Options)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	timeout := s.defaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.maxTimeout {
+			timeout = s.maxTimeout
+		}
+	} else if req.TimeoutMS < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("timeout_ms must be positive"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, cached, err := s.synth.Synthesize(ctx, pred, req.Cols, schema, opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrInvalidOptions):
+			s.fail(w, http.StatusBadRequest, err)
+		case errors.Is(err, core.ErrTimeout):
+			s.fail(w, http.StatusGatewayTimeout, err)
+		default:
+			s.fail(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+
+	resp := synthesizeResponse{
+		Valid:        res.Valid,
+		Optimal:      res.Optimal,
+		Iterations:   res.Iterations,
+		TrueSamples:  res.TrueSamples,
+		FalseSamples: res.FalseSamples,
+		GaveUp:       string(res.GaveUp),
+		Cached:       cached,
+		ElapsedMS:    time.Since(start).Milliseconds(),
+	}
+	if res.Predicate != nil {
+		resp.Predicate = res.Predicate.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+type statsResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Requests      uint64      `json:"requests"`
+	Failures      uint64      `json:"failures"`
+	Cache         cache.Stats `json:"cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Failures:      s.failures.Load(),
+		Cache:         s.synth.Stats(),
+	})
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	s.failures.Add(1)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func buildSchema(cols []schemaColumn) (*predicate.Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("schema must declare at least one column")
+	}
+	out := make([]predicate.Column, len(cols))
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("schema column %d has no name", i)
+		}
+		var t predicate.Type
+		switch strings.ToLower(c.Type) {
+		case "int", "integer":
+			t = predicate.TypeInteger
+		case "double", "float":
+			t = predicate.TypeDouble
+		case "date":
+			t = predicate.TypeDate
+		case "timestamp":
+			t = predicate.TypeTimestamp
+		default:
+			return nil, fmt.Errorf("column %q: unknown type %q (want int, double, date or timestamp)", c.Name, c.Type)
+		}
+		out[i] = predicate.Column{Name: c.Name, Type: t, NotNull: !c.Nullable}
+	}
+	return predicate.NewSchema(out...), nil
+}
+
+func buildOptions(o *requestOptions) (core.Options, error) {
+	if o == nil {
+		return core.Options{}, nil
+	}
+	opts := core.Options{
+		MaxIterations:       o.MaxIterations,
+		InitialTrue:         o.InitialTrue,
+		InitialFalse:        o.InitialFalse,
+		SamplesPerIteration: o.SamplesPerIteration,
+		MaxDenominator:      o.MaxDenominator,
+		NonZeroSamples:      o.NonZeroSamples,
+		SolverTimeout:       time.Duration(o.SolverTimeoutMS) * time.Millisecond,
+		Timeout:             time.Duration(o.TimeoutMS) * time.Millisecond,
+	}
+	if err := opts.Validate(); err != nil {
+		return core.Options{}, err
+	}
+	return opts, nil
+}

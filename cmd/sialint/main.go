@@ -7,6 +7,7 @@
 //	tribool-misuse     three-valued logic is never silently collapsed to bool
 //	no-panic           library panics are package-prefixed dispatch panics only
 //	hygiene            no copied sync types or defers inside hot loops
+//	ctx-first          exported functions taking a context.Context take it first
 //
 // Usage:
 //

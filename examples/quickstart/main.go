@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"sia"
 )
@@ -32,7 +34,11 @@ func main() {
 	fmt.Println()
 
 	// Ask Sia for a predicate that uses only the two lineitem columns.
-	res, err := sia.Synthesize(pred, []string{"l_commitdate", "l_shipdate"}, schema, sia.Options{})
+	// The context bounds the whole synthesis; an expired deadline surfaces
+	// as an error matching sia.ErrTimeout.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := sia.SynthesizeContext(ctx, pred, []string{"l_commitdate", "l_shipdate"}, schema, sia.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +60,7 @@ func main() {
 
 	// The single-column reductions from the paper's Q2 work too.
 	for _, cols := range [][]string{{"l_shipdate"}, {"l_commitdate"}} {
-		r, err := sia.Synthesize(pred, cols, schema, sia.Options{})
+		r, err := sia.SynthesizeContext(ctx, pred, cols, schema, sia.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -117,6 +117,7 @@ func Analyzers(cfg *Config) []*Analyzer {
 		TriBoolMisuse(cfg),
 		NoPanicInLibrary(cfg),
 		Hygiene(cfg),
+		CtxFirst(cfg),
 	}
 }
 

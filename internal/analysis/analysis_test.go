@@ -110,6 +110,18 @@ func TestHygieneBad(t *testing.T) {
 	wantFindings(t, got, 5, "defer", "range", "sync")
 }
 
+func TestCtxFirstGood(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "ctxfirst_good", cfg, CtxFirst(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestCtxFirstBad(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "ctxfirst_bad", cfg, CtxFirst(cfg))
+	wantFindings(t, got, 2, "Fetch", "Do")
+}
+
 // TestRepoIsClean runs every analyzer with the default configuration over
 // the repository itself — the same invocation cmd/sialint performs — and
 // expects zero findings. A regression here means new code violated one of

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the context placement convention on the public surface:
+// any exported function or method that takes a context.Context must take it
+// as its first parameter. The convention ("Contexts should not be stored...
+// pass a Context as the first parameter", the context package's own
+// documentation) is what lets callers spot cancellation support at a
+// glance; a context buried later in the signature is invariably a refactor
+// leftover.
+func CtxFirst(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "ctx-first",
+		Doc:  "exported functions taking a context.Context must take it first",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Pkg.Files {
+				for _, decl := range file.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || !fn.Name.IsExported() {
+						continue
+					}
+					obj, ok := pass.Pkg.Info.Defs[fn.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					sig, ok := obj.Type().(*types.Signature)
+					if !ok {
+						continue
+					}
+					params := sig.Params()
+					for i := 1; i < params.Len(); i++ {
+						if isContextType(params.At(i).Type()) {
+							pass.Reportf(fn.Name.Pos(),
+								"exported %s takes context.Context as parameter %d; a context must be the first parameter",
+								fn.Name.Name, i+1)
+							break
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,25 @@
+// Package api violates the context-first convention.
+package api
+
+import "context"
+
+// Fetch buries its context after the key.
+func Fetch(key string, ctx context.Context) (string, error) {
+	_ = ctx
+	return key, nil
+}
+
+// Client is an exported receiver type.
+type Client struct{}
+
+// Do puts the context last.
+func (c *Client) Do(n int, ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// Ok is fine and must not be reported.
+func Ok(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}

@@ -1,0 +1,3 @@
+module cfbad
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package api follows the context-first convention everywhere.
+package api
+
+import "context"
+
+// Fetch takes its context first.
+func Fetch(ctx context.Context, key string) (string, error) {
+	_ = ctx
+	return key, nil
+}
+
+// Plain takes no context at all.
+func Plain(key string) string { return key }
+
+// Client is an exported receiver type.
+type Client struct{}
+
+// Do is an exported method with the context first.
+func (c *Client) Do(ctx context.Context, n int, extra ...string) error {
+	_ = ctx
+	return nil
+}
+
+// unexportedLate is allowed to order parameters freely: internal helpers
+// sometimes thread a context alongside accumulated state.
+func unexportedLate(n int, ctx context.Context) int {
+	_ = ctx
+	return n
+}

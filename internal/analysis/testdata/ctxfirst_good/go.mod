@@ -1,0 +1,3 @@
+module cfgood
+
+go 1.22

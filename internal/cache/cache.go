@@ -1,0 +1,251 @@
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"sia/internal/core"
+	"sia/internal/predicate"
+)
+
+// DefaultCapacity bounds the entry count of a zero-configured cache.
+const DefaultCapacity = 4096
+
+// Stats is a point-in-time snapshot of the cache's counters. Hits, Misses,
+// Coalesced and Evictions are monotone; Entries and InFlight are gauges.
+type Stats struct {
+	// Hits counts requests answered from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts requests that started a new computation (one CEGIS
+	// loop each).
+	Misses uint64 `json:"misses"`
+	// Coalesced counts requests that joined an in-flight computation
+	// instead of starting their own — the singleflight savings.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current number of stored results.
+	Entries int `json:"entries"`
+	// InFlight is the current number of running computations.
+	InFlight int `json:"in_flight"`
+}
+
+// Cache memoizes synthesis results under canonical keys with LRU bounding
+// and singleflight deduplication. All methods are safe for concurrent use.
+//
+// Stored results are shared: a hit returns the same *core.Result pointer
+// the original computation produced, so callers must treat Results as
+// immutable (every field is write-once metadata or an immutable predicate
+// tree, so ordinary use never mutates one).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*call
+	stats    Stats
+}
+
+type entry struct {
+	key string
+	res *core.Result
+}
+
+// call is one in-flight computation. Its lifecycle: created by the first
+// requester (the leader), joined by coalescing waiters, completed exactly
+// once by the detached runner goroutine, which closes done. If every
+// waiter's context expires first, the call is marked abandoned and its
+// runner cancelled — a later identical request then starts a fresh call
+// rather than inheriting a cancelled one.
+type call struct {
+	done      chan struct{}
+	res       *core.Result
+	err       error
+	waiters   int
+	completed bool
+	abandoned bool
+	cancel    context.CancelFunc
+}
+
+// New returns a cache bounded to capacity entries (DefaultCapacity when
+// capacity is <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*call{},
+	}
+}
+
+// Do returns the cached result for key, computing it with fn on a miss.
+// Concurrent calls with the same key share a single fn invocation; cached
+// reports whether the result was served without running fn in this call
+// (an LRU hit or a coalesced join).
+//
+// fn runs on a goroutine whose context is detached from ctx's
+// cancellation: the computation belongs to every waiter, not to whichever
+// request happened to arrive first, so one impatient client cannot kill
+// the work for the others. When ctx expires while fn is still running, Do
+// returns an error matching core.ErrTimeout (and ctx.Err()) immediately;
+// the computation keeps running for the remaining waiters and is cancelled
+// only when the last waiter is gone. An expired ctx always yields that
+// error — even when the entry is already stored or the computation lands
+// in the same instant — so a caller's deadline is honored
+// deterministically. Successful results are stored; errors are not (the
+// next request retries).
+func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (*core.Result, error)) (res *core.Result, cached bool, err error) {
+	for {
+		// A dead context fails fast even on what would be a cache hit:
+		// the caller's budget is spent, and cancelled means cancelled.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, false, fmt.Errorf("%w: %w", core.ErrTimeout, cerr)
+		}
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			res := el.Value.(*entry).res
+			c.mu.Unlock()
+			return res, true, nil
+		}
+		if cl, ok := c.inflight[key]; ok && !cl.abandoned {
+			cl.waiters++
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			res, err, retry := c.wait(ctx, cl)
+			if retry {
+				continue
+			}
+			return res, err == nil, err
+		}
+		// Miss: become the leader. The runner's context inherits ctx's
+		// values but not its cancellation; it is cancelled only when the
+		// last waiter abandons the call.
+		c.stats.Misses++
+		runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		cl := &call{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		c.inflight[key] = cl
+		c.mu.Unlock()
+		go c.run(key, cl, runCtx, fn)
+		res, err, retry := c.wait(ctx, cl)
+		if retry {
+			continue
+		}
+		return res, false, err
+	}
+}
+
+// wait blocks until the call completes or ctx expires. retry is set when
+// the call was abandoned under the waiter (its result is a cancellation
+// artifact, not an answer) while the waiter's own context is still live.
+func (c *Cache) wait(ctx context.Context, cl *call) (res *core.Result, err error, retry bool) {
+	select {
+	case <-cl.done:
+		c.mu.Lock()
+		abandoned := cl.abandoned
+		c.mu.Unlock()
+		if abandoned && cl.err != nil && ctx.Err() == nil {
+			return nil, nil, true
+		}
+		// The computation can land in the same instant the waiter's
+		// context expires, leaving both select arms ready. Deadline
+		// expiry wins, so the caller's budget is honored
+		// deterministically; the result is still stored for later
+		// callers.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("%w: %w", core.ErrTimeout, cerr), false
+		}
+		return cl.res, cl.err, false
+	case <-ctx.Done():
+		c.mu.Lock()
+		cl.waiters--
+		if cl.waiters == 0 && !cl.completed {
+			cl.abandoned = true
+			cl.cancel()
+		}
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %w", core.ErrTimeout, ctx.Err()), false
+	}
+}
+
+// run executes one computation and publishes its outcome.
+func (c *Cache) run(key string, cl *call, runCtx context.Context, fn func(context.Context) (*core.Result, error)) {
+	res, err := fn(runCtx)
+	c.mu.Lock()
+	cl.res, cl.err = res, err
+	cl.completed = true
+	// A fresh call may have replaced an abandoned one; only the owner
+	// clears the slot.
+	if c.inflight[key] == cl {
+		delete(c.inflight, key)
+	}
+	if err == nil {
+		c.insert(key, res)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+	cl.cancel()
+}
+
+// insert stores res under key, evicting from the LRU tail past capacity.
+// Caller holds c.mu.
+func (c *Cache) insert(key string, res *core.Result) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache's counters and gauges.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.InFlight = len(c.inflight)
+	return s
+}
+
+// Synthesizer couples a Cache with core.SynthesizeContext: the drop-in
+// cached form of the synthesis entry point.
+type Synthesizer struct {
+	cache *Cache
+}
+
+// NewSynthesizer returns a cached synthesizer bounded to capacity results
+// (DefaultCapacity when capacity is <= 0).
+func NewSynthesizer(capacity int) *Synthesizer {
+	return &Synthesizer{cache: New(capacity)}
+}
+
+// Synthesize is core.SynthesizeContext memoized through the cache. cached
+// reports whether the result was served without running a CEGIS loop for
+// this call. Uncacheable requests (a caller-supplied Options.Solver or
+// Trace — see KeyFor) bypass the cache entirely.
+func (s *Synthesizer) Synthesize(ctx context.Context, p predicate.Predicate, cols []string, schema *predicate.Schema, opts core.Options) (res *core.Result, cached bool, err error) {
+	key, ok := KeyFor(p, cols, schema, opts)
+	if !ok {
+		res, err := core.SynthesizeContext(ctx, p, cols, schema, opts)
+		return res, false, err
+	}
+	return s.cache.Do(ctx, key, func(runCtx context.Context) (*core.Result, error) {
+		return core.SynthesizeContext(runCtx, p, cols, schema, opts)
+	})
+}
+
+// Stats returns the underlying cache's counters.
+func (s *Synthesizer) Stats() Stats { return s.cache.Stats() }

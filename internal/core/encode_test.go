@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -126,7 +127,7 @@ func TestEncode3VLNullability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		valid, err := v.Verify(cand)
+		valid, err := v.Verify(context.Background(), cand)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,14 +146,14 @@ func TestVerifyBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	valid, err := v.Verify(predtest.MustParse("a > -5", s))
+	valid, err := v.Verify(context.Background(), predtest.MustParse("a > -5", s))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !valid {
 		t.Fatal("a > -5 is implied by a > 0 AND b > 0")
 	}
-	valid, err = v.Verify(predtest.MustParse("a > 5", s))
+	valid, err = v.Verify(context.Background(), predtest.MustParse("a > 5", s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestVerifyBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	valid, err = vn.Verify(predtest.MustParse("a > -5", ns))
+	valid, err = vn.Verify(context.Background(), predtest.MustParse("a > -5", ns))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestVerifyPaperMotivatingRewrite(t *testing.T) {
 		"l_commitdate - l_shipdate < 29",
 	}
 	for _, src := range validOnes {
-		ok, err := v.Verify(predtest.MustParse(src, s))
+		ok, err := v.Verify(context.Background(), predtest.MustParse(src, s))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func TestVerifyPaperMotivatingRewrite(t *testing.T) {
 		"l_commitdate > DATE '1993-01-01'", // unrelated direction
 	}
 	for _, src := range invalid {
-		ok, err := v.Verify(predtest.MustParse(src, s))
+		ok, err := v.Verify(context.Background(), predtest.MustParse(src, s))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -67,7 +68,7 @@ func orientationKey(p svm.IntegerPlane) string {
 
 // noteInvalid records a Verify failure for every plane of the candidate,
 // deciding boundedness (and blacklisting) after three strikes.
-func (l *learner) noteInvalid(lr *learnResult) {
+func (l *learner) noteInvalid(ctx context.Context, lr *learnResult) {
 	if l.invalidCount == nil {
 		l.invalidCount = map[string]int{}
 		l.blacklisted = map[string]bool{}
@@ -76,7 +77,7 @@ func (l *learner) noteInvalid(lr *learnResult) {
 		key := orientationKey(p)
 		l.invalidCount[key]++
 		if l.invalidCount[key] == 3 && l.sampler != nil && !l.blacklisted[key] {
-			if unbounded, err := l.orientationUnbounded(p); err == nil && unbounded {
+			if unbounded, err := l.orientationUnbounded(ctx, p); err == nil && unbounded {
 				l.blacklisted[key] = true
 			}
 		}
@@ -86,7 +87,7 @@ func (l *learner) noteInvalid(lr *learnResult) {
 // orientationUnbounded checks whether w·x can be driven below any bound on
 // the feasible (projected) region — if so, no plane w·x + c > 0 is ever a
 // valid reduction.
-func (l *learner) orientationUnbounded(p svm.IntegerPlane) (bool, error) {
+func (l *learner) orientationUnbounded(ctx context.Context, p svm.IntegerPlane) (bool, error) {
 	dir := smt.NewTerm(nil)
 	for i, c := range p.Coeffs {
 		if c.Sign() != 0 {
@@ -94,7 +95,7 @@ func (l *learner) orientationUnbounded(p svm.IntegerPlane) (bool, error) {
 		}
 	}
 	low := smt.LT(dir, smt.NewTerm(new(big.Rat).SetInt64(-1_000_000_000)))
-	return l.opts.Solver.Satisfiable(smt.NewAnd(l.sampler.satBase, low))
+	return l.opts.Solver.SatisfiableCtx(ctx, smt.NewAnd(l.sampler.satBase, low))
 }
 
 // learnResult is the candidate predicate as a disjunction of exact integer

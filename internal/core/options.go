@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"sia/internal/smt"
@@ -50,8 +51,10 @@ type Options struct {
 	NonZeroSamples bool
 	// SolverTimeout bounds each individual solver call; an expired call
 	// behaves like a Z3 timeout (§6.2 recommends running Sia "with an
-	// explicit timeout"). Default 2s. Ignored when Solver is supplied
-	// with its own Timeout.
+	// explicit timeout"). Default 2s. An explicitly set (non-zero)
+	// SolverTimeout is always honored, overriding the Timeout of a
+	// caller-supplied Solver; when left zero, a supplied Solver keeps its
+	// own Timeout.
 	SolverTimeout time.Duration
 	// Timeout bounds the whole synthesis; on expiry the best valid
 	// predicate found so far is returned. Default 30s.
@@ -64,7 +67,10 @@ type Options struct {
 	Trace func(iteration int, candidate fmt.Stringer, valid bool)
 }
 
-func (o Options) withDefaults() Options {
+// normalized fills the numeric defaults without touching the solver. It is
+// shared by withDefaults and Fingerprint so the two can never disagree on
+// what the zero value means.
+func (o Options) normalized() Options {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 41
 	}
@@ -80,19 +86,78 @@ func (o Options) withDefaults() Options {
 	if o.MaxDenominator == 0 {
 		o.MaxDenominator = 8
 	}
-	if o.SolverTimeout == 0 {
-		o.SolverTimeout = 2 * time.Second
-	}
 	if o.Timeout == 0 {
 		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	explicitSolverTimeout := o.SolverTimeout != 0
+	o = o.normalized()
+	if o.SolverTimeout == 0 {
+		o.SolverTimeout = 2 * time.Second
 	}
 	if o.Solver == nil {
 		o.Solver = smt.New()
 	}
-	if o.Solver.Timeout == 0 {
+	// An explicitly requested per-call timeout wins over the supplied
+	// solver's own; otherwise a solver that already carries a timeout
+	// keeps it.
+	if explicitSolverTimeout || o.Solver.Timeout == 0 {
 		o.Solver.Timeout = o.SolverTimeout
 	}
 	return o
+}
+
+// Validate rejects nonsensical configurations: any negative field. It
+// returns nil or a single error matching ErrInvalidOptions that names every
+// offending field. The zero value (and any field left zero) is always
+// valid — zero means "use the default".
+func (o Options) Validate() error {
+	var bad []string
+	if o.MaxIterations < 0 {
+		bad = append(bad, "MaxIterations")
+	}
+	if o.InitialTrue < 0 {
+		bad = append(bad, "InitialTrue")
+	}
+	if o.InitialFalse < 0 {
+		bad = append(bad, "InitialFalse")
+	}
+	if o.SamplesPerIteration < 0 {
+		bad = append(bad, "SamplesPerIteration")
+	}
+	if o.MaxDenominator < 0 {
+		bad = append(bad, "MaxDenominator")
+	}
+	if o.SolverTimeout < 0 {
+		bad = append(bad, "SolverTimeout")
+	}
+	if o.Timeout < 0 {
+		bad = append(bad, "Timeout")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%w: negative %s", ErrInvalidOptions, strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+// Fingerprint returns a canonical string identifying every option that can
+// influence a synthesis result, with defaults applied — two Options with
+// equal fingerprints produce identical Results for the same (predicate,
+// cols, schema) input. Solver and Trace are deliberately excluded: a
+// caller-supplied solver or trace hook makes a run uncacheable, which
+// cache.KeyFor detects separately.
+func (o Options) Fingerprint() string {
+	n := o.normalized()
+	st := n.SolverTimeout
+	if st == 0 {
+		st = 2 * time.Second
+	}
+	return fmt.Sprintf("iters=%d|t0=%d|f0=%d|per=%d|maxden=%d|nonzero=%t|solvertimeout=%s|timeout=%s",
+		n.MaxIterations, n.InitialTrue, n.InitialFalse, n.SamplesPerIteration,
+		n.MaxDenominator, n.NonZeroSamples, st, n.Timeout)
 }
 
 // The paper's baseline configurations (Table 1).

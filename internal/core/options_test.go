@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"sia/internal/predtest"
+	"sia/internal/smt"
 )
 
 func TestTraceHook(t *testing.T) {
@@ -68,6 +72,79 @@ func TestOptionsDefaults(t *testing.T) {
 	o2 := Options{MaxIterations: 7, InitialTrue: 3, InitialFalse: 4, SamplesPerIteration: 2}.withDefaults()
 	if o2.MaxIterations != 7 || o2.InitialTrue != 3 || o2.InitialFalse != 4 || o2.SamplesPerIteration != 2 {
 		t.Fatalf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options invalid: %v", err)
+	}
+	if err := (Options{MaxIterations: 10, Timeout: time.Second}).Validate(); err != nil {
+		t.Fatalf("positive options invalid: %v", err)
+	}
+	bad := Options{MaxIterations: -1, InitialFalse: -3, SolverTimeout: -time.Second}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("negative options accepted")
+	}
+	if !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("error %v does not match ErrInvalidOptions", err)
+	}
+	// One error names every offending field.
+	for _, field := range []string{"MaxIterations", "InitialFalse", "SolverTimeout"} {
+		if !strings.Contains(err.Error(), field) {
+			t.Errorf("error %q does not name %s", err, field)
+		}
+	}
+	// SynthesizeContext rejects them before doing any work.
+	s := intSchema("a", "b")
+	p := predtest.MustParse("a - b < 20 AND b < 0", s)
+	if _, serr := SynthesizeContext(context.Background(), p, []string{"a"}, s, bad); !errors.Is(serr, ErrInvalidOptions) {
+		t.Fatalf("SynthesizeContext error %v does not match ErrInvalidOptions", serr)
+	}
+}
+
+func TestExplicitSolverTimeoutHonored(t *testing.T) {
+	// An explicitly set SolverTimeout overrides the Timeout of a
+	// caller-supplied Solver (historically it was silently ignored).
+	sv := smt.New()
+	sv.Timeout = time.Minute
+	o := Options{Solver: sv, SolverTimeout: 3 * time.Second}.withDefaults()
+	if o.Solver.Timeout != 3*time.Second {
+		t.Fatalf("explicit SolverTimeout ignored: solver timeout = %v", o.Solver.Timeout)
+	}
+	// Without an explicit SolverTimeout the supplied solver's own budget
+	// is preserved.
+	sv2 := smt.New()
+	sv2.Timeout = time.Minute
+	o2 := Options{Solver: sv2}.withDefaults()
+	if o2.Solver.Timeout != time.Minute {
+		t.Fatalf("supplied solver's timeout clobbered: %v", o2.Solver.Timeout)
+	}
+	// A supplied solver with no budget inherits the default.
+	sv3 := smt.New()
+	sv3.Timeout = 0
+	o3 := Options{Solver: sv3}.withDefaults()
+	if o3.Solver.Timeout != o3.SolverTimeout || o3.Solver.Timeout == 0 {
+		t.Fatalf("unbudgeted supplied solver not defaulted: %v", o3.Solver.Timeout)
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	// Zero options and the explicit paper preset must agree: defaults are
+	// applied before fingerprinting.
+	if (Options{}).Fingerprint() != PresetSIA().Fingerprint() {
+		t.Fatalf("zero vs preset fingerprints differ:\n%s\n%s",
+			Options{}.Fingerprint(), PresetSIA().Fingerprint())
+	}
+	// Any numeric field must show up.
+	if (Options{MaxIterations: 7}).Fingerprint() == (Options{}).Fingerprint() {
+		t.Fatal("MaxIterations not fingerprinted")
+	}
+	// Solver and Trace are excluded (the cache handles them separately).
+	withSolver := Options{Solver: smt.New()}
+	if withSolver.Fingerprint() != (Options{}).Fingerprint() {
+		t.Fatal("Solver leaked into the fingerprint")
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sia/internal/predicate"
@@ -42,7 +43,7 @@ func TestSymbolicRelevanceRealColumns(t *testing.T) {
 	s := realSchema("x", "y")
 	// x < y with y unconstrained: no unsatisfaction tuple for {x}.
 	free := predtest.MustParse("x < y", s)
-	rel, err := SymbolicallyRelevant(free, []string{"x"}, s, nil)
+	rel, err := SymbolicallyRelevant(context.Background(), free, []string{"x"}, s, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestSymbolicRelevanceRealColumns(t *testing.T) {
 	}
 	// Bounding y creates unsatisfaction tuples for {x}.
 	bounded := predtest.MustParse("x < y AND y < 7.25", s)
-	rel, err = SymbolicallyRelevant(bounded, []string{"x"}, s, nil)
+	rel, err = SymbolicallyRelevant(context.Background(), bounded, []string{"x"}, s, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -133,7 +134,7 @@ type sampler struct {
 
 // newSampler builds a sampler for predicate formula pf whose free variables
 // are p's columns; cols is the target subset.
-func newSampler(solver *smt.Solver, e *encoder, pf smt.Formula, cols []string, opts Options) (*sampler, error) {
+func newSampler(ctx context.Context, solver *smt.Solver, e *encoder, pf smt.Formula, cols []string, opts Options) (*sampler, error) {
 	space := newSampleSpace(e, cols)
 	inCols := map[smt.Var]bool{}
 	for _, v := range space.Vars {
@@ -149,11 +150,11 @@ func newSampler(solver *smt.Solver, e *encoder, pf smt.Formula, cols []string, o
 			sat = &smt.Exists{V: v, F: sat}
 		}
 	}
-	unsatQF, err := solver.QE(unsat)
+	unsatQF, err := solver.QECtx(ctx, unsat)
 	if err != nil {
 		return nil, fmt.Errorf("sia: eliminating quantifiers for unsatisfaction tuples: %w", err)
 	}
-	satQF, err := solver.QE(sat)
+	satQF, err := solver.QECtx(ctx, sat)
 	if err != nil {
 		return nil, fmt.Errorf("sia: projecting the predicate onto %v: %w", cols, err)
 	}
@@ -173,22 +174,22 @@ func newSampler(solver *smt.Solver, e *encoder, pf smt.Formula, cols []string, o
 // hasUnsatTuple reports whether any unsatisfaction tuple exists at all. If
 // none does, the only valid optimal reduction is TRUE and synthesis is
 // pointless (the query is not "symbolically relevant", §6.2).
-func (s *sampler) hasUnsatTuple() (bool, error) {
-	return s.solver.Satisfiable(s.unsatBase)
+func (s *sampler) hasUnsatTuple(ctx context.Context) (bool, error) {
+	return s.solver.SatisfiableCtx(ctx, s.unsatBase)
 }
 
 // trueSamples generates up to n new TRUE samples distinct from known. The
 // returned exhausted flag is set when every satisfaction tuple has been
 // enumerated (§5.3: the satisfying region of Cols' is finite). Initial
 // sampling uses the strong per-column NotOld, which spreads samples widely.
-func (s *sampler) trueSamples(n int, known []Sample) (out []Sample, exhausted bool, err error) {
-	return s.enumerate(s.satBase, n, known, true)
+func (s *sampler) trueSamples(ctx context.Context, n int, known []Sample) (out []Sample, exhausted bool, err error) {
+	return s.enumerate(ctx, s.satBase, n, known, true)
 }
 
 // falseSamples generates up to n new FALSE samples (unsatisfaction tuples)
 // distinct from known.
-func (s *sampler) falseSamples(n int, known []Sample) (out []Sample, exhausted bool, err error) {
-	return s.enumerate(s.unsatBase, n, known, true)
+func (s *sampler) falseSamples(ctx context.Context, n int, known []Sample) (out []Sample, exhausted bool, err error) {
+	return s.enumerate(ctx, s.unsatBase, n, known, true)
 }
 
 // counterTrue generates up to n TRUE counter-examples: tuples that satisfy
@@ -196,8 +197,8 @@ func (s *sampler) falseSamples(n int, known []Sample) (out []Sample, exhausted b
 // Counter-examples use weak (tuple-level) blocking: they live near the
 // decision boundary, and per-column blocking would exile later samples
 // from exactly the region the learner needs to refine.
-func (s *sampler) counterTrue(learned smt.Formula, n int, known []Sample) ([]Sample, error) {
-	out, _, err := s.enumerate(smt.NewAnd(s.satBase, smt.NewNot(learned)), n, known, false)
+func (s *sampler) counterTrue(ctx context.Context, learned smt.Formula, n int, known []Sample) ([]Sample, error) {
+	out, _, err := s.enumerate(ctx, smt.NewAnd(s.satBase, smt.NewNot(learned)), n, known, false)
 	return out, err
 }
 
@@ -205,8 +206,8 @@ func (s *sampler) counterTrue(learned smt.Formula, n int, known []Sample) ([]Sam
 // tuples that the (valid) learned predicate wrongly accepts. An empty
 // result with exhausted=true proves the learned predicate optimal
 // (Lemma 4).
-func (s *sampler) counterFalse(learned smt.Formula, n int, known []Sample) (out []Sample, exhausted bool, err error) {
-	return s.enumerate(smt.NewAnd(s.unsatBase, learned), n, known, false)
+func (s *sampler) counterFalse(ctx context.Context, learned smt.Formula, n int, known []Sample) (out []Sample, exhausted bool, err error) {
+	return s.enumerate(ctx, smt.NewAnd(s.unsatBase, learned), n, known, false)
 }
 
 // enumerate produces up to n fresh samples from the models of base.
@@ -224,7 +225,7 @@ func (s *sampler) counterFalse(learned smt.Formula, n int, known []Sample) (out 
 // does not yet prove exhaustion; the slow path then resumes the classic
 // loop — Model(base ∧ NotOld) with tuple-level blocking clauses — whose
 // UNSAT answer is a real exhaustion proof (§5.3).
-func (s *sampler) enumerate(base smt.Formula, n int, known []Sample, diversify bool) (out []Sample, exhausted bool, err error) {
+func (s *sampler) enumerate(ctx context.Context, base smt.Formula, n int, known []Sample, diversify bool) (out []Sample, exhausted bool, err error) {
 	seenTuples := map[string]bool{}
 	seenCols := make([]map[string]bool, len(s.space.Vars))
 	for i := range seenCols {
@@ -272,7 +273,7 @@ func (s *sampler) enumerate(base smt.Formula, n int, known []Sample, diversify b
 		// Scan more candidates than needed: many will be duplicates of
 		// known samples or rejected by the strong rule.
 		budget := 4*n + 4*len(known) + 16
-		err := s.solver.EnumerateModels(query, s.space.Vars, budget, func(m smt.Model) bool {
+		err := s.solver.EnumerateModelsCtx(ctx, query, s.space.Vars, budget, func(m smt.Model) bool {
 			sm := s.space.extractSample(m)
 			if fresh(sm, strong) {
 				note(sm)
@@ -292,7 +293,7 @@ func (s *sampler) enumerate(base smt.Formula, n int, known []Sample, diversify b
 	for len(out) < n {
 		all := append(append([]Sample(nil), known...), out...)
 		query := smt.NewAnd(base, s.space.notOld(all, false))
-		m, err := s.solver.Model(query)
+		m, err := s.solver.ModelCtx(ctx, query)
 		if errors.Is(err, smt.ErrUnsat) {
 			return out, true, nil
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -58,8 +59,9 @@ type Result struct {
 // SymbolicallyRelevant reports whether an unsatisfaction tuple exists for p
 // with respect to cols — the §6.2 case-study test: only then can a
 // non-trivial valid reduction exist (Lemma 4), making the query worth
-// handing to the full synthesis loop.
-func SymbolicallyRelevant(p predicate.Predicate, cols []string, schema *predicate.Schema, solver *smt.Solver) (bool, error) {
+// handing to the full synthesis loop. Cancelling ctx aborts the check with
+// an error matching ErrTimeout.
+func SymbolicallyRelevant(ctx context.Context, p predicate.Predicate, cols []string, schema *predicate.Schema, solver *smt.Solver) (bool, error) {
 	if solver == nil {
 		solver = smt.New()
 	}
@@ -72,20 +74,36 @@ func SymbolicallyRelevant(p predicate.Predicate, cols []string, schema *predicat
 	if err != nil {
 		return false, err
 	}
-	smp, err := newSampler(solver, enc, pf, cols, Options{}.withDefaults())
+	smp, err := newSampler(ctx, solver, enc, pf, cols, Options{}.withDefaults())
 	if err != nil {
-		return false, err
+		return false, publicErr(err)
 	}
-	return smp.hasUnsatTuple()
+	ok, err := smp.hasUnsatTuple(ctx)
+	return ok, publicErr(err)
 }
 
-// Synthesize runs Alg. 1: it learns a valid (and, when the loop converges,
-// optimal) predicate over cols that is implied by p. The schema supplies
-// column types and nullability; cols must be a subset of p's columns.
+// Synthesize runs Alg. 1 without cancellation support; it is equivalent to
+// SynthesizeContext with context.Background().
 func Synthesize(p predicate.Predicate, cols []string, schema *predicate.Schema, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), p, cols, schema, opts)
+}
+
+// SynthesizeContext runs Alg. 1: it learns a valid (and, when the loop
+// converges, optimal) predicate over cols that is implied by p. The schema
+// supplies column types and nullability; cols must be a subset of p's
+// columns.
+//
+// Cancelling ctx (or passing a context whose deadline expires) aborts
+// synthesis within one solver call and returns an error matching ErrTimeout
+// — distinct from the internal Options.Timeout budget, whose expiry returns
+// the best predicate found so far with a nil error.
+func SynthesizeContext(ctx context.Context, p predicate.Predicate, cols []string, schema *predicate.Schema, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if len(cols) == 0 {
-		return nil, fmt.Errorf("sia: no target columns given")
+		return nil, fmt.Errorf("%w: no target columns given", ErrInvalidOptions)
 	}
 	pcols := map[string]bool{}
 	for _, c := range predicate.Columns(p) {
@@ -93,7 +111,7 @@ func Synthesize(p predicate.Predicate, cols []string, schema *predicate.Schema, 
 	}
 	for _, c := range cols {
 		if !pcols[c] {
-			return nil, fmt.Errorf("sia: column %q does not occur in the predicate", c)
+			return nil, fmt.Errorf("%w: column %q does not occur in the predicate", ErrInvalidOptions, c)
 		}
 	}
 
@@ -116,17 +134,18 @@ func Synthesize(p predicate.Predicate, cols []string, schema *predicate.Schema, 
 
 	res := &Result{}
 	start := time.Now()
-	smp, err := newSampler(opts.Solver, enc, pf, cols, opts)
+	smp, err := newSampler(ctx, opts.Solver, enc, pf, cols, opts)
 	res.Timing.Generation += time.Since(start)
 	if err != nil {
 		if errors.Is(err, smt.ErrBudget) {
 			res.GaveUp = ReasonSolverBudget
 			return res, nil
 		}
-		return nil, err
+		return nil, publicErr(err)
 	}
 
 	loop := &synthesisLoop{
+		ctx:     ctx,
 		opts:    opts,
 		enc:     enc,
 		schema:  schema,
@@ -135,12 +154,13 @@ func Synthesize(p predicate.Predicate, cols []string, schema *predicate.Schema, 
 		res:     res,
 	}
 	if err := loop.run(rewritten); err != nil {
-		return nil, err
+		return nil, publicErr(err)
 	}
 	return res, nil
 }
 
 type synthesisLoop struct {
+	ctx     context.Context
 	opts    Options
 	enc     *encoder
 	schema  *predicate.Schema
@@ -157,7 +177,7 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 	// Symbolic relevance check: without an unsatisfaction tuple there is
 	// nothing a non-trivial valid predicate could reject (Lemma 4).
 	start := time.Now()
-	relevant, err := l.sampler.hasUnsatTuple()
+	relevant, err := l.sampler.hasUnsatTuple(l.ctx)
 	res.Timing.Generation += time.Since(start)
 	if err != nil {
 		return l.giveUp(err)
@@ -169,7 +189,7 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 
 	// Initial samples (§5.3).
 	start = time.Now()
-	ts, tExhausted, err := l.sampler.trueSamples(l.opts.InitialTrue, nil)
+	ts, tExhausted, err := l.sampler.trueSamples(l.ctx, l.opts.InitialTrue, nil)
 	res.Timing.Generation += time.Since(start)
 	if err != nil {
 		return l.giveUp(err)
@@ -186,7 +206,7 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 	l.ts = ts
 
 	start = time.Now()
-	fs, fExhausted, err := l.sampler.falseSamples(l.opts.InitialFalse, nil)
+	fs, fExhausted, err := l.sampler.falseSamples(l.ctx, l.opts.InitialFalse, nil)
 	res.Timing.Generation += time.Since(start)
 	if err != nil {
 		return l.giveUp(err)
@@ -244,7 +264,7 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 					rest = append(rest, c.f)
 				}
 			}
-			needed, err := l.opts.Solver.Satisfiable(smt.NewAnd(smt.NewAnd(rest...), smt.NewNot(conjuncts[i].f)))
+			needed, err := l.opts.Solver.SatisfiableCtx(l.ctx, smt.NewAnd(smt.NewAnd(rest...), smt.NewNot(conjuncts[i].f)))
 			if err == nil && !needed {
 				conjuncts = append(conjuncts[:i], conjuncts[i+1:]...)
 				i--
@@ -264,6 +284,11 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 
 	loopStart := time.Now()
 	for iter := 0; iter < l.opts.MaxIterations; iter++ {
+		// The caller walking away is an error (ErrTimeout); the internal
+		// wall-clock budget expiring is a graceful partial result.
+		if err := l.ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrTimeout, err)
+		}
 		if time.Since(loopStart) > l.opts.Timeout {
 			finish(ReasonTimeout)
 			return nil
@@ -283,7 +308,7 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 		candidate := lr.predicate(l.sampler.space, l.schema)
 
 		start = time.Now()
-		valid, err := ver.Verify(candidate)
+		valid, err := ver.Verify(l.ctx, candidate)
 		res.Timing.Validation += time.Since(start)
 		if err != nil {
 			return l.giveUpWith(err, finish)
@@ -306,11 +331,11 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 			// implies an existing conjunct makes that conjunct redundant,
 			// so it is evicted.
 			start = time.Now()
-			useful, err := l.opts.Solver.Satisfiable(smt.NewAnd(validFormula(), smt.NewNot(candFormula)))
+			useful, err := l.opts.Solver.SatisfiableCtx(l.ctx, smt.NewAnd(validFormula(), smt.NewNot(candFormula)))
 			if err == nil && useful {
 				kept := conjuncts[:0]
 				for _, c := range conjuncts {
-					redundant, cerr := l.opts.Solver.Satisfiable(smt.NewAnd(candFormula, smt.NewNot(c.f)))
+					redundant, cerr := l.opts.Solver.SatisfiableCtx(l.ctx, smt.NewAnd(candFormula, smt.NewNot(c.f)))
 					if cerr != nil {
 						err = cerr
 						break
@@ -329,7 +354,7 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 			}
 
 			start = time.Now()
-			fs1, exhausted, err := l.sampler.counterFalse(validFormula(), l.opts.SamplesPerIteration, l.fs)
+			fs1, exhausted, err := l.sampler.counterFalse(l.ctx, validFormula(), l.opts.SamplesPerIteration, l.fs)
 			res.Timing.Generation += time.Since(start)
 			if err != nil {
 				return l.giveUpWith(err, finish)
@@ -345,8 +370,8 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 			l.fs = append(l.fs, fs1...)
 		} else {
 			start = time.Now()
-			l.learner.noteInvalid(lr)
-			ts1, err := l.sampler.counterTrue(candFormula, l.opts.SamplesPerIteration, l.ts)
+			l.learner.noteInvalid(l.ctx, lr)
+			ts1, err := l.sampler.counterTrue(l.ctx, candFormula, l.opts.SamplesPerIteration, l.ts)
 			res.Timing.Generation += time.Since(start)
 			if err != nil {
 				return l.giveUpWith(err, finish)

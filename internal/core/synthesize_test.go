@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sia/internal/predicate"
@@ -26,7 +27,7 @@ func assertValidReduction(t *testing.T, p predicate.Predicate, res *Result, cols
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := v.Verify(res.Predicate)
+	ok, err := v.Verify(context.Background(), res.Predicate)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sia/internal/predicate"
 	"sia/internal/smt"
 )
@@ -8,8 +10,17 @@ import (
 // VerifyReduction reports whether candidate is a valid dimensionality
 // reduction of p under three-valued logic (Def. 2): every tuple p accepts,
 // candidate accepts. It is the standalone form of the loop's Verify step,
-// usable to check hand-written rewrites.
+// usable to check hand-written rewrites. It is equivalent to
+// VerifyReductionContext with context.Background().
 func VerifyReduction(p, candidate predicate.Predicate, schema *predicate.Schema) (bool, error) {
+	return VerifyReductionContext(context.Background(), p, candidate, schema)
+}
+
+// VerifyReductionContext is VerifyReduction honoring ctx: cancellation
+// aborts the solver within one elimination step and returns an error
+// matching ErrTimeout; a solver budget overrun returns an error matching
+// ErrBudget.
+func VerifyReductionContext(ctx context.Context, p, candidate predicate.Predicate, schema *predicate.Schema) (bool, error) {
 	enc := newEncoder(schema)
 	rw, err := enc.rewriteNonLinear(p)
 	if err != nil {
@@ -19,7 +30,8 @@ func VerifyReduction(p, candidate predicate.Predicate, schema *predicate.Schema)
 	if err != nil {
 		return false, err
 	}
-	return v.Verify(candidate)
+	ok, err := v.Verify(ctx, candidate)
+	return ok, publicErr(err)
 }
 
 // verifier decides whether a candidate predicate is a valid dimensionality
@@ -63,13 +75,13 @@ func newVerifier(solver *smt.Solver, enc *encoder, p predicate.Predicate) (*veri
 
 // Verify reports whether candidate is a valid reduction of the original
 // predicate (Def. 2: every tuple accepted by p is accepted by candidate).
-func (v *verifier) Verify(candidate predicate.Predicate) (bool, error) {
+func (v *verifier) Verify(ctx context.Context, candidate predicate.Predicate) (bool, error) {
 	candTrue, err := v.enc.EncodeIsTrue(candidate)
 	if err != nil {
 		return false, err
 	}
 	counter := smt.NewAnd(v.pIsTrue, smt.NewNot(candTrue), v.domain)
-	sat, err := v.solver.Satisfiable(counter)
+	sat, err := v.solver.SatisfiableCtx(ctx, counter)
 	if err != nil {
 		return false, err
 	}

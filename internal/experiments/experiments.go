@@ -17,6 +17,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -178,7 +179,7 @@ func SynthesisSweep(cfg Config) ([]RunRecord, error) {
 		go func() {
 			defer wg.Done()
 			for tk := range ch {
-				relevant, err := core.SymbolicallyRelevant(tk.query.Pred, tk.cols, schema, smt.New())
+				relevant, err := core.SymbolicallyRelevant(context.Background(), tk.query.Pred, tk.cols, schema, smt.New())
 				if err != nil {
 					relevant = false
 				}

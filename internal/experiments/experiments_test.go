@@ -149,6 +149,19 @@ func TestFig9AndSummaries(t *testing.T) {
 	if out := RenderFig9(records, sums); !strings.Contains(out, "speedup") {
 		t.Fatalf("render fig 9:\n%s", out)
 	}
+
+	// A repeated run reuses the synthesis cache: no new CEGIS loops.
+	before := fig9Synth.Stats()
+	if _, err := Fig9(smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	after := fig9Synth.Stats()
+	if after.Misses != before.Misses {
+		t.Fatalf("repeated Fig9 re-ran synthesis: %d -> %d misses", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("repeated Fig9 never hit the cache: %+v -> %+v", before, after)
+	}
 }
 
 func TestMotivating(t *testing.T) {

@@ -28,6 +28,7 @@
 package maxcompute
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -109,7 +110,7 @@ func Simulate(cfg Config) ([]SimQuery, error) {
 		class := ClassOther
 		if shape.prospective {
 			class = ClassProspective
-			relevant, err := core.SymbolicallyRelevant(pred, shape.scanSideCols, schema, solver)
+			relevant, err := core.SymbolicallyRelevant(context.Background(), pred, shape.scanSideCols, schema, solver)
 			if err != nil && !errors.Is(err, core.ErrUnsupported) && !errors.Is(err, smt.ErrBudget) {
 				return nil, fmt.Errorf("maxcompute: relevance check: %w", err)
 			}

@@ -1,0 +1,90 @@
+package smt
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+)
+
+// adversarial returns a formula that grinds Cooper's elimination long
+// enough for cancellation to land mid-call.
+func adversarial() Formula {
+	vars := []Var{IntVar("a"), IntVar("b"), IntVar("c"), IntVar("d")}
+	var fs []Formula
+	for i, v := range vars {
+		tm := VarTerm(v)
+		tm.Scale(big.NewRat(int64(17+10*i), 1))
+		for j, w := range vars {
+			if j != i {
+				tm.AddVar(w, big.NewRat(int64(3+j), 1))
+			}
+		}
+		fs = append(fs, NE(tm, ConstTerm(int64(5+i))))
+	}
+	return NewAnd(fs...)
+}
+
+func TestSolverContextPreCancelled(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.SatisfiableCtx(ctx, adversarial())
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("expected ErrInterrupted, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not expose context.Canceled", err)
+	}
+	// Cancellation is the caller's doing, not a structural budget failure.
+	if errors.Is(err, ErrBudget) {
+		t.Fatalf("interruption %v must not look like budget exhaustion", err)
+	}
+}
+
+func TestSolverContextCancelMidCall(t *testing.T) {
+	s := New()
+	s.Timeout = 0 // only ctx may stop this call
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.SatisfiableCtx(ctx, adversarial())
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Skip("formula solved before cancellation on this machine")
+		}
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("expected ErrInterrupted, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled solver call did not return")
+	}
+}
+
+func TestSolverContextDisarmsAfterCall(t *testing.T) {
+	// A cancelled ctx from a previous call must not leak into the next one.
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := IntVar("x")
+	if _, err := s.SatisfiableCtx(ctx, GT(VarTerm(x), ConstTerm(0))); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("expected ErrInterrupted, got %v", err)
+	}
+	ok, err := s.Satisfiable(GT(VarTerm(x), ConstTerm(0)))
+	if err != nil || !ok {
+		t.Fatalf("solver unusable after cancelled call: ok=%v err=%v", ok, err)
+	}
+	m, err := s.ModelCtx(context.Background(), GT(VarTerm(x), ConstTerm(41)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[x].Cmp(big.NewRat(42, 1)) < 0 {
+		t.Fatalf("model %v violates x > 41", m)
+	}
+}

@@ -168,8 +168,8 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 	var disjuncts []Formula
 	total := 0
 	for j := int64(1); j <= dn; j++ {
-		if s.expired() {
-			return nil, fmt.Errorf("%w: timeout eliminating %s", ErrBudget, v)
+		if err := s.checkStop(); err != nil {
+			return nil, err
 		}
 		inf := Simplify(substInfinity(work, y, j, useLower))
 		if b, ok := inf.(Bool); ok && bool(b) {

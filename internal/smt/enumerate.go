@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 )
@@ -21,7 +22,13 @@ import (
 // "candidates ran out" (Sia's optimality proof does) should confirm
 // exhaustion with a blocked Satisfiable query.
 func (s *Solver) EnumerateModels(f Formula, vars []Var, limit int, emit func(Model) bool) error {
-	defer s.arm()()
+	return s.EnumerateModelsCtx(context.Background(), f, vars, limit, emit)
+}
+
+// EnumerateModelsCtx is EnumerateModels honoring ctx: cancellation surfaces
+// as ErrInterrupted within one elimination step.
+func (s *Solver) EnumerateModelsCtx(ctx context.Context, f Formula, vars []Var, limit int, emit func(Model) bool) error {
+	defer s.arm(ctx)()
 	qf, err := s.QE(f)
 	if err != nil {
 		return err
@@ -39,8 +46,8 @@ func (s *Solver) enumerateRec(f Formula, vars []Var, current Model, remaining *i
 	if *remaining <= 0 {
 		return nil
 	}
-	if s.expired() {
-		return fmt.Errorf("%w: timeout enumerating models", ErrBudget)
+	if err := s.checkStop(); err != nil {
+		return err
 	}
 	if len(vars) == 0 {
 		if b, ok := f.(Bool); ok && bool(b) {

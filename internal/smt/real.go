@@ -85,8 +85,8 @@ func (s *Solver) eliminateReal(v Var, f Formula) (Formula, error) {
 	var disjuncts []Formula
 	total := 0
 	for _, tp := range points {
-		if s.expired() {
-			return nil, fmt.Errorf("%w: timeout eliminating %s", ErrBudget, v)
+		if err := s.checkStop(); err != nil {
+			return nil, err
 		}
 		var g Formula
 		if tp.term == nil {

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -12,6 +13,13 @@ import (
 // solver's size limits. Callers treat it like a solver timeout: Sia gives up
 // on the current synthesis rather than crashing.
 var ErrBudget = errors.New("smt: elimination budget exceeded")
+
+// ErrInterrupted is returned (wrapped, together with the context's own
+// error) when the caller's context is cancelled or its deadline passes
+// during a solver call. Unlike ErrBudget — a per-call budget the synthesis
+// loop recovers from — ErrInterrupted means the caller walked away, so it
+// propagates out of the whole pipeline.
+var ErrInterrupted = errors.New("smt: interrupted")
 
 // ErrUnsat is returned by Model when the formula has no model.
 var ErrUnsat = errors.New("smt: unsatisfiable")
@@ -49,22 +57,43 @@ type Solver struct {
 
 	Stats    Stats
 	freshID  int
+	ctx      context.Context
 	deadline time.Time
 }
 
-// arm starts the timeout clock for a public entry point. Nested public
-// calls (e.g. Model calling QE) keep the outermost deadline.
-func (s *Solver) arm() func() {
-	if s.Timeout <= 0 || !s.deadline.IsZero() {
+// arm binds the caller's context and starts the timeout clock for a public
+// entry point. Nested public calls (e.g. Model calling QE) keep the
+// outermost context and deadline. The returned func disarms the solver; it
+// must be deferred by every public entry point.
+func (s *Solver) arm(ctx context.Context) func() {
+	if s.ctx != nil {
 		return func() {}
 	}
-	s.deadline = time.Now().Add(s.Timeout)
-	return func() { s.deadline = time.Time{} }
+	s.ctx = ctx
+	if s.Timeout > 0 {
+		s.deadline = time.Now().Add(s.Timeout)
+	}
+	return func() {
+		s.ctx = nil
+		s.deadline = time.Time{}
+	}
 }
 
-// expired reports whether the current call ran past its deadline.
-func (s *Solver) expired() bool {
-	return !s.deadline.IsZero() && time.Now().After(s.deadline)
+// checkStop returns a non-nil error when the current call must stop: the
+// caller's context was cancelled (ErrInterrupted, wrapping ctx.Err()) or
+// the per-call timeout expired (ErrBudget). It is polled from the hot
+// elimination and enumeration loops, bounding how long a cancellation can
+// go unnoticed to a fraction of one solver call.
+func (s *Solver) checkStop() error {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrInterrupted, err)
+		}
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return fmt.Errorf("%w: timeout after %v", ErrBudget, s.Timeout)
+	}
+	return nil
 }
 
 // New returns a solver with default limits.
@@ -98,7 +127,16 @@ func (s *Solver) freshVar() Var {
 
 // QE returns a quantifier-free formula equivalent to f.
 func (s *Solver) QE(f Formula) (Formula, error) {
-	defer s.arm()()
+	return s.QECtx(context.Background(), f)
+}
+
+// QECtx is QE honoring ctx: cancellation surfaces as ErrInterrupted within
+// one elimination step.
+func (s *Solver) QECtx(ctx context.Context, f Formula) (Formula, error) {
+	defer s.arm(ctx)()
+	if err := s.checkStop(); err != nil {
+		return nil, err
+	}
 	switch x := f.(type) {
 	case Bool, *Atom, *Div:
 		return f, nil
@@ -154,8 +192,8 @@ func (s *Solver) QE(f Formula) (Formula, error) {
 // disjunction, which keeps intermediate formulas small when the input is
 // already a union of cases (as Cooper's output is).
 func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
-	if s.expired() {
-		return nil, fmt.Errorf("%w: timeout after %v", ErrBudget, s.Timeout)
+	if err := s.checkStop(); err != nil {
+		return nil, err
 	}
 	f = Simplify(NNF(f))
 	if !occurs(v, f) {
@@ -185,7 +223,18 @@ func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
 // Satisfiable decides whether f has a model. Free variables are treated as
 // existentially quantified.
 func (s *Solver) Satisfiable(f Formula) (bool, error) {
-	defer s.arm()()
+	return s.SatisfiableCtx(context.Background(), f)
+}
+
+// SatisfiableCtx is Satisfiable honoring ctx: cancellation surfaces as
+// ErrInterrupted within one elimination step.
+func (s *Solver) SatisfiableCtx(ctx context.Context, f Formula) (bool, error) {
+	defer s.arm(ctx)()
+	// A dead context fails fast even when a shortcut (the simplex cut
+	// below) could still produce an answer: cancelled means cancelled.
+	if err := s.checkStop(); err != nil {
+		return false, err
+	}
 	s.Stats.SatQueries++
 	f = Simplify(NNF(f))
 	// Fast path: a conjunction of linear atoms that is already infeasible
@@ -213,7 +262,12 @@ func (s *Solver) Satisfiable(f Formula) (bool, error) {
 // Valid decides whether f holds under every assignment of its free
 // variables.
 func (s *Solver) Valid(f Formula) (bool, error) {
-	sat, err := s.Satisfiable(NewNot(f))
+	return s.ValidCtx(context.Background(), f)
+}
+
+// ValidCtx is Valid honoring ctx.
+func (s *Solver) ValidCtx(ctx context.Context, f Formula) (bool, error) {
+	sat, err := s.SatisfiableCtx(ctx, NewNot(f))
 	if err != nil {
 		return false, err
 	}
@@ -230,7 +284,16 @@ func (s *Solver) Valid(f Formula) (bool, error) {
 // paper extracts concrete tuples from Z3's models (§5.3) while remaining
 // exact.
 func (s *Solver) Model(f Formula) (Model, error) {
-	defer s.arm()()
+	return s.ModelCtx(context.Background(), f)
+}
+
+// ModelCtx is Model honoring ctx: cancellation surfaces as ErrInterrupted
+// within one elimination step.
+func (s *Solver) ModelCtx(ctx context.Context, f Formula) (Model, error) {
+	defer s.arm(ctx)()
+	if err := s.checkStop(); err != nil {
+		return nil, err
+	}
 	s.Stats.ModelQueries++
 	vars := FreeVars(f)
 	qf, err := s.QE(f)

@@ -14,8 +14,16 @@
 //	pred, _ := sia.ParsePredicate(`l_shipdate - o_orderdate < 20
 //		AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10
 //		AND o_orderdate < DATE '1993-06-01'`, schema)
-//	res, _ := sia.Synthesize(pred, []string{"l_commitdate", "l_shipdate"}, schema, sia.Options{})
+//	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+//	defer cancel()
+//	res, _ := sia.SynthesizeContext(ctx, pred, []string{"l_commitdate", "l_shipdate"}, schema, sia.Options{})
 //	fmt.Println(res.Predicate) // e.g. -1*l_commitdate + l_shipdate + 29 > 0 AND ...
+//
+// SynthesizeContext is the primary entry point: cancelling ctx (or letting
+// its deadline pass) stops the loop — including a solver call in progress —
+// and returns an error matching ErrTimeout. Failures are classified with
+// the package's sentinel errors (ErrTimeout, ErrBudget, ErrInvalidOptions)
+// so callers can dispatch with errors.Is.
 //
 // The heavy lifting lives in the internal packages: internal/core (the
 // CEGIS loop), internal/smt (a from-scratch Presburger/linear-real solver
@@ -25,8 +33,29 @@
 package sia
 
 import (
+	"context"
+
 	"sia/internal/core"
 	"sia/internal/predicate"
+)
+
+// Sentinel errors classifying synthesis failures. Match them with
+// errors.Is; every error returned by the package's exported functions
+// wraps exactly one of them or is a parse error from ParsePredicate.
+var (
+	// ErrTimeout reports that the caller's context was cancelled or its
+	// deadline passed before synthesis finished. Errors matching it also
+	// match the underlying context.Canceled or context.DeadlineExceeded.
+	// (An internal Options.Timeout expiry is not an error: it returns the
+	// best result so far with Result.GaveUp set.)
+	ErrTimeout = core.ErrTimeout
+	// ErrBudget reports that the SMT solver exhausted a structural budget
+	// (formula size, elimination blow-up) from which no partial result
+	// could be salvaged.
+	ErrBudget = core.ErrBudget
+	// ErrInvalidOptions reports malformed Options (negative budgets) or
+	// malformed arguments (unknown target columns, nil schema).
+	ErrInvalidOptions = core.ErrInvalidOptions
 )
 
 // Re-exported core types. See the internal/core and internal/predicate
@@ -49,17 +78,39 @@ type (
 	Tuple = predicate.Tuple
 )
 
-// Synthesize learns a valid (and, when the loop converges, optimal)
-// dimensionality reduction of p to cols. See core.Synthesize.
-func Synthesize(p Predicate, cols []string, schema *Schema, opts Options) (*Result, error) {
-	return core.Synthesize(p, cols, schema, opts)
+// SynthesizeContext learns a valid (and, when the loop converges, optimal)
+// dimensionality reduction of p to cols. It is the primary synthesis entry
+// point: the CEGIS loop polls ctx between and during solver calls, so
+// cancelling ctx or exceeding its deadline aborts promptly with an error
+// matching ErrTimeout (and ctx.Err()). See core.SynthesizeContext.
+func SynthesizeContext(ctx context.Context, p Predicate, cols []string, schema *Schema, opts Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, p, cols, schema, opts)
 }
 
-// VerifyReduction reports whether candidate is implied by p under SQL's
-// three-valued logic — the check Sia runs on every learned candidate,
-// exposed for validating hand-written rewrites.
+// Synthesize is SynthesizeContext with context.Background().
+//
+// Deprecated: it cannot be cancelled or given a caller deadline — only the
+// internal Options.Timeout bounds it. New code should call
+// SynthesizeContext; this form remains for existing callers and one-shot
+// tools where an unbounded run is acceptable.
+func Synthesize(p Predicate, cols []string, schema *Schema, opts Options) (*Result, error) {
+	return core.SynthesizeContext(context.Background(), p, cols, schema, opts)
+}
+
+// VerifyReductionContext reports whether candidate is implied by p under
+// SQL's three-valued logic — the check Sia runs on every learned
+// candidate, exposed for validating hand-written rewrites. Cancelling ctx
+// aborts the solver call with an error matching ErrTimeout.
+func VerifyReductionContext(ctx context.Context, p, candidate Predicate, schema *Schema) (bool, error) {
+	return core.VerifyReductionContext(ctx, p, candidate, schema)
+}
+
+// VerifyReduction is VerifyReductionContext with context.Background().
+//
+// Deprecated: prefer VerifyReductionContext so implication checks inherit
+// request deadlines; this form remains for existing callers.
 func VerifyReduction(p, candidate Predicate, schema *Schema) (bool, error) {
-	return core.VerifyReduction(p, candidate, schema)
+	return core.VerifyReductionContext(context.Background(), p, candidate, schema)
 }
 
 // ParsePredicate parses a SQL boolean expression against a schema.
