@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine race-serve lint fuzz-smoke check clean
+.PHONY: build vet test race race-engine race-serve lint lint-json lint-sarif fuzz-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ race-serve:
 
 lint:
 	$(GO) run ./cmd/sialint ./...
+
+# Machine-readable lint reports for editor and CI integration.
+lint-json:
+	$(GO) run ./cmd/sialint -json ./...
+
+lint-sarif:
+	$(GO) run ./cmd/sialint -sarif ./...
 
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/

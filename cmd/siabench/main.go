@@ -37,7 +37,7 @@ func main() {
 	for _, s := range strings.Split(*scale, ",") {
 		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad scale %q: %v", s, err))
+			fatal(fmt.Errorf("bad scale %q: %w", s, err))
 		}
 		sfs = append(sfs, f)
 	}

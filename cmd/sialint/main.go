@@ -8,65 +8,170 @@
 //	no-panic           library panics are package-prefixed dispatch panics only
 //	hygiene            no copied sync types or defers inside hot loops
 //	ctx-first          exported functions taking a context.Context take it first
+//	cancel-poll        while-style loops in solver/engine code poll cancellation
+//	                   on every cycle (path-sensitive, over the CFG)
+//	err-wrap           sentinel errors are matched with errors.Is and wrapped
+//	                   with %w across exported boundaries
+//	lock-balance       every Lock is released on every path to return; no
+//	                   double-lock (forward dataflow)
+//	wg-balance         wg.Add precedes the go statement, never inside it
 //
 // Usage:
 //
-//	sialint [packages]
+//	sialint [flags] [packages]
 //
 // where packages are Go package patterns relative to the working directory
 // ("./...", "./internal/...", "./cmd/sia"). With no arguments, ./... is
-// assumed. Findings print as file:line:col: [analyzer] message; the exit
-// status is 1 when any finding is reported and 2 on a load or usage error.
+// assumed. Findings print as file:line:col: [analyzer] message — or as a
+// JSON document (-json) or SARIF 2.1.0 log (-sarif) for machine consumers.
+// The exit status is 1 when any finding is reported and 2 on a load or
+// usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"sia/internal/analysis"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the registered analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sialint [-list] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit status surfaced for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sialint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the registered analyzers and exit")
+		enable   = fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated analyzer names to skip")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON document on stdout")
+		sarifOut = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+		parallel = fs.Int("parallel", 0, "package-level worker count (0 = GOMAXPROCS, 1 = serial)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sialint [flags] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := analysis.DefaultConfig()
 	analyzers := analysis.Analyzers(cfg)
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "sialint: -json and -sarif are mutually exclusive\n")
+		return 2
+	}
+	analyzers, err := selectAnalyzers(analyzers, *enable, *disable)
+	if err != nil {
+		fmt.Fprintf(stderr, "sialint: %v\n", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := analysis.Load(".", patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sialint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sialint: %v\n", err)
+		return 2
 	}
-	findings := analysis.Run(pkgs, analyzers, cfg)
+
+	var findings []analysis.Finding
+	if *parallel == 1 {
+		findings = analysis.Run(pkgs, analyzers, cfg)
+	} else {
+		findings = analysis.RunParallel(pkgs, analyzers, cfg, *parallel)
+	}
+
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		pos := f.Pos
-		if cwd != "" {
-			if rel, rerr := filepath.Rel(cwd, pos.Filename); rerr == nil && !filepath.IsAbs(rel) {
-				pos.Filename = rel
-			}
+	switch {
+	case *jsonOut:
+		if err := analysis.WriteJSON(stdout, findings, cwd); err != nil {
+			fmt.Fprintf(stderr, "sialint: %v\n", err)
+			return 2
 		}
-		fmt.Printf("%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	case *sarifOut:
+		if err := analysis.WriteSARIF(stdout, findings, analyzers, cwd); err != nil {
+			fmt.Fprintf(stderr, "sialint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			pos := f.Pos
+			if cwd != "" {
+				if rel, rerr := filepath.Rel(cwd, pos.Filename); rerr == nil && !filepath.IsAbs(rel) {
+					pos.Filename = rel
+				}
+			}
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "sialint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sialint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
 	}
+	return 0
+}
+
+// selectAnalyzers applies the -enable / -disable flags. Unknown names are an
+// error in either flag — a typo silently running nothing would defeat CI.
+func selectAnalyzers(all []*analysis.Analyzer, enable, disable string) ([]*analysis.Analyzer, error) {
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(flagName, val string) (map[string]bool, error) {
+		if val == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(val, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("-%s: unknown analyzer %q (see -list)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	enabled, err := parse("enable", enable)
+	if err != nil {
+		return nil, err
+	}
+	disabled, err := parse("disable", disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if enabled != nil && !enabled[a.Name] {
+			continue
+		}
+		if disabled[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListIncludesNewAnalyzers(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errs.String())
+	}
+	for _, name := range []string{"cancel-poll", "err-wrap", "lock-balance", "wg-balance"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestEnableUnknownAnalyzer(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-enable", "no-such-check"}, &out, &errs); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errs.String(), "unknown analyzer") {
+		t.Errorf("stderr: %s", errs.String())
+	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &out, &errs); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRepoCleanViaCLI runs the tool the way CI does — over the whole module
+// with JSON output — and expects a clean, parseable report. This doubles as
+// the regression test that loading the repo (which contains testdata
+// mini-modules and build-tag-excluded files) does not error.
+func TestRepoCleanViaCLI(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var out, errs bytes.Buffer
+	code := run([]string{"-json", "./..."}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s\nstdout: %s", code, errs.String(), out.String())
+	}
+	var report struct {
+		Tool     string            `json:"tool"`
+		Count    int               `json:"count"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out.String())
+	}
+	if report.Tool != "sialint" || report.Count != 0 || len(report.Findings) != 0 {
+		t.Errorf("report = %+v\n%s", report, out.String())
+	}
+}

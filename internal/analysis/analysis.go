@@ -16,8 +16,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Config points the analyzers at the project-specific types and packages
@@ -52,6 +54,28 @@ type Config struct {
 	// HygienePackages are the package paths subject to the mutex-and-loop
 	// hygiene checks (hot execution paths).
 	HygienePackages []string
+
+	// CancelPackages are the package paths whose while-style loops (a for
+	// statement with no post clause: `for {...}` and `for cond {...}`) must
+	// poll cancellation on every cycle or carry a `// cancel:`
+	// justification.
+	CancelPackages []string
+
+	// CancelFunctions are function or method names whose call counts as a
+	// cancellation poll, in addition to the built-in forms (a method call
+	// on a context.Context, any call passing a context.Context argument,
+	// and a decrement of a budget-named variable).
+	CancelFunctions []string
+
+	// ErrWrapBoundaryPackages are the package paths whose exported
+	// functions form the public error surface: a return of a freshly
+	// constructed, unwrapped error (errors.New or fmt.Errorf without %w)
+	// there can never match a sentinel with errors.Is.
+	ErrWrapBoundaryPackages []string
+
+	// LockPackages are the package paths subject to the path-sensitive
+	// lock-balance analyzer (double-lock, return with a held mutex).
+	LockPackages []string
 }
 
 // DefaultConfig returns the configuration for the Sia module itself.
@@ -69,6 +93,18 @@ func DefaultConfig() *Config {
 		LibraryPrefixes:    []string{"sia/internal/"},
 		ExtraPanicPrefixes: []string{"sia"},
 		HygienePackages:    []string{"sia/internal/engine", "sia/internal/smt"},
+		CancelPackages: []string{
+			"sia/internal/smt",
+			"sia/internal/core",
+			"sia/internal/engine",
+		},
+		CancelFunctions: []string{"checkStop"},
+		ErrWrapBoundaryPackages: []string{
+			"sia",
+			"sia/internal/core",
+			"sia/internal/cache",
+		},
+		LockPackages: []string{"sia/internal/engine", "sia/internal/cache"},
 	}
 }
 
@@ -118,6 +154,10 @@ func Analyzers(cfg *Config) []*Analyzer {
 		NoPanicInLibrary(cfg),
 		Hygiene(cfg),
 		CtxFirst(cfg),
+		CancelPoll(cfg),
+		ErrWrap(cfg),
+		LockBalance(cfg),
+		WgBalance(cfg),
 	}
 }
 
@@ -131,6 +171,48 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
 			a.Run(pass)
 		}
 	}
+	sortFindings(findings)
+	return findings
+}
+
+// RunParallel is Run with per-package concurrency, bounded by workers
+// (non-positive means GOMAXPROCS). It is safe because the units of shared
+// state are all read-only at this point — packages and type information are
+// immutable after Load, analyzer closures hold only the Config — and each
+// package gets a private findings sink, merged after the barrier. The final
+// sort makes the output identical to Run regardless of scheduling.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, cfg *Config, workers int) []Finding {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Finding
+			for _, a := range analyzers {
+				pass := &Pass{Cfg: cfg, Pkg: pkg, All: pkgs, analyzer: a.Name, sink: &local}
+				a.Run(pass)
+			}
+			perPkg[i] = local
+		}()
+	}
+	wg.Wait()
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// sortFindings orders findings by file, line, column, then analyzer name.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -144,7 +226,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
 }
 
 // lookupNamed resolves a fully qualified "pkgpath.Name" type across the

@@ -1,0 +1,63 @@
+package analysis
+
+import "testing"
+
+// Tests for the CFG/dataflow-backed analyzers: cancel-poll, err-wrap,
+// lock-balance, wg-balance. Each runs against a good fixture (zero
+// findings) and a bad fixture (exact count plus message substrings), the
+// same discipline as the per-node analyzers in analysis_test.go.
+
+func cancelCfg(mod string) *Config {
+	return &Config{
+		CancelPackages:  []string{mod + "/solver"},
+		CancelFunctions: []string{"checkStop"},
+	}
+}
+
+func TestCancelPollGood(t *testing.T) {
+	cfg := cancelCfg("cpgood")
+	got := runOne(t, "cancelpoll_good", cfg, CancelPoll(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestCancelPollBad(t *testing.T) {
+	cfg := cancelCfg("cpbad")
+	got := runOne(t, "cancelpoll_bad", cfg, CancelPoll(cfg))
+	wantFindings(t, got, 3, "poll")
+}
+
+func TestErrWrapGood(t *testing.T) {
+	cfg := &Config{ErrWrapBoundaryPackages: []string{"ewgood/api"}}
+	got := runOne(t, "errwrap_good", cfg, ErrWrap(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestErrWrapBad(t *testing.T) {
+	cfg := &Config{ErrWrapBoundaryPackages: []string{"ewbad/api"}}
+	got := runOne(t, "errwrap_bad", cfg, ErrWrap(cfg))
+	wantFindings(t, got, 5, "errors.Is", "%w", "errors.New")
+}
+
+func TestLockBalanceGood(t *testing.T) {
+	cfg := &Config{LockPackages: []string{"lbgood/engine"}}
+	got := runOne(t, "lockbalance_good", cfg, LockBalance(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestLockBalanceBad(t *testing.T) {
+	cfg := &Config{LockPackages: []string{"lbbad/engine"}}
+	got := runOne(t, "lockbalance_bad", cfg, LockBalance(cfg))
+	wantFindings(t, got, 3, "locked again", "still held")
+}
+
+func TestWgBalanceGood(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "wgbalance_good", cfg, WgBalance(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestWgBalanceBad(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "wgbalance_bad", cfg, WgBalance(cfg))
+	wantFindings(t, got, 3, "races with Wait", "no wg.Add precedes")
+}

@@ -1,0 +1,127 @@
+// Generic dataflow over control-flow graphs: forward and backward fact
+// propagation to a fixed point with a worklist. Analyses supply a
+// join-semilattice and a monotone transfer function; the solver guarantees
+// termination for lattices of finite height, including on irreducible
+// graphs (goto can produce loops with two entry points, which structured
+// traversals mishandle but a worklist does not care about).
+package analysis
+
+// Lattice is the join-semilattice an analysis computes over. Bottom is the
+// fact for unreachable code and the identity of Join; Join must be
+// commutative, associative, and idempotent; Equal decides convergence.
+type Lattice[F any] interface {
+	Bottom() F
+	Join(a, b F) F
+	Equal(a, b F) bool
+}
+
+// maxDataflowSteps bounds a single Solve as a defense against a
+// non-monotone transfer function: width * height of any lattice used here
+// is far below it, so a well-formed analysis always converges first.
+const maxDataflowSteps = 1 << 20
+
+// ForwardSolve propagates facts along control-flow edges until nothing
+// changes. The entry fact seeds g.Entry; every other block starts at
+// Bottom. It returns the fixed-point fact at the entry and exit of every
+// block: in[b] is the join over predecessors' outs (entry included for
+// g.Entry), out[b] = transfer(b, in[b]).
+func ForwardSolve[F any](g *CFG, lat Lattice[F], entry F, transfer func(b *Block, in F) F) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(g.Blocks))
+	out = make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = lat.Bottom()
+		out[b] = lat.Bottom()
+	}
+	in[g.Entry] = entry
+	work := newWorklist(g.Blocks)
+	for steps := 0; steps < maxDataflowSteps; steps++ {
+		b, ok := work.pop()
+		if !ok {
+			break
+		}
+		acc := lat.Bottom()
+		if b == g.Entry {
+			acc = entry
+		}
+		for _, p := range b.Preds {
+			acc = lat.Join(acc, out[p])
+		}
+		in[b] = acc
+		next := transfer(b, acc)
+		if !lat.Equal(next, out[b]) {
+			out[b] = next
+			for _, s := range b.Succs {
+				work.push(s)
+			}
+		}
+	}
+	return in, out
+}
+
+// BackwardSolve is ForwardSolve against the edges: facts flow from
+// successors to predecessors, the exit fact seeds g.Exit, and for each
+// block out[b] is the join over successors' ins, in[b] = transfer(b,
+// out[b]).
+func BackwardSolve[F any](g *CFG, lat Lattice[F], exit F, transfer func(b *Block, out F) F) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(g.Blocks))
+	out = make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = lat.Bottom()
+		out[b] = lat.Bottom()
+	}
+	out[g.Exit] = exit
+	work := newWorklist(g.Blocks)
+	for steps := 0; steps < maxDataflowSteps; steps++ {
+		b, ok := work.pop()
+		if !ok {
+			break
+		}
+		acc := lat.Bottom()
+		if b == g.Exit {
+			acc = exit
+		}
+		for _, s := range b.Succs {
+			acc = lat.Join(acc, in[s])
+		}
+		out[b] = acc
+		next := transfer(b, acc)
+		if !lat.Equal(next, in[b]) {
+			in[b] = next
+			for _, p := range b.Preds {
+				work.push(p)
+			}
+		}
+	}
+	return in, out
+}
+
+// worklist is a FIFO queue of blocks with O(1) duplicate suppression.
+type worklist struct {
+	queue  []*Block
+	queued map[*Block]bool
+}
+
+func newWorklist(blocks []*Block) *worklist {
+	w := &worklist{queued: make(map[*Block]bool, len(blocks))}
+	for _, b := range blocks {
+		w.push(b)
+	}
+	return w
+}
+
+func (w *worklist) push(b *Block) {
+	if !w.queued[b] {
+		w.queued[b] = true
+		w.queue = append(w.queue, b)
+	}
+}
+
+func (w *worklist) pop() (*Block, bool) {
+	if len(w.queue) == 0 {
+		return nil, false
+	}
+	b := w.queue[0]
+	w.queue = w.queue[1:]
+	w.queued[b] = false
+	return b, true
+}

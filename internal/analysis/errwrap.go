@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the module's error-chain discipline, which is what makes
+// the public sentinels (sia.ErrTimeout, sia.ErrBudget, …) matchable with
+// errors.Is end to end:
+//
+//   - an error value must never be compared to a sentinel with == or != —
+//     wrapping (which the rest of the pipeline does deliberately) makes the
+//     comparison silently false; errors.Is is the only correct match.
+//     Comparisons against nil or against an error-typed local are exempt;
+//     a `// errwrap:` comment on or above the line silences a deliberate
+//     identity check.
+//   - fmt.Errorf with an error-typed argument must use the %w verb: %v or
+//     %s formats the message but drops the chain, so upstream errors.Is
+//     matches stop working.
+//   - exported functions of the boundary packages must not return a freshly
+//     constructed, unwrapped error (errors.New or a chain-less fmt.Errorf
+//     built in the return statement): no sentinel can ever match it, which
+//     breaks the "every public error matches a sia.Err*" contract.
+func ErrWrap(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "err-wrap",
+		Doc:  "sentinel comparisons use errors.Is, wrapping keeps the chain with %w, public errors wrap sentinels",
+		Run: func(pass *Pass) {
+			boundary := stringIn(pass.Pkg.Path, cfg.ErrWrapBoundaryPackages)
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.BinaryExpr:
+						pass.checkSentinelCompare(x)
+					case *ast.CallExpr:
+						pass.checkErrorfWrap(x)
+					case *ast.FuncDecl:
+						if boundary && x.Name.IsExported() && exportedReceiver(x) {
+							pass.checkBoundaryReturns(x)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// exportedReceiver reports whether fn is reachable from outside the
+// package: a plain function, or a method on an exported receiver type.
+func exportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// checkSentinelCompare flags ==/!= between an error value and a sentinel (a
+// package-level error variable).
+func (pass *Pass) checkSentinelCompare(be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	if !isErrorType(info.TypeOf(be.X)) || !isErrorType(info.TypeOf(be.Y)) {
+		return
+	}
+	sentinel := pass.sentinelName(be.X)
+	if sentinel == "" {
+		sentinel = pass.sentinelName(be.Y)
+	}
+	if sentinel == "" {
+		return
+	}
+	if pass.Pkg.commentedWith(be.Pos(), "errwrap:") {
+		return
+	}
+	pass.Reportf(be.Pos(),
+		"error compared to sentinel %s with %s; wrapped errors never match — use errors.Is",
+		sentinel, be.Op)
+}
+
+// sentinelName returns the name of the package-level error variable e
+// refers to, or "" when e is not a sentinel reference (nil, locals, fields,
+// and call results all return "").
+func (pass *Pass) sentinelName(e ast.Expr) string {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	obj, ok := pass.Pkg.Info.Uses[id]
+	if !ok {
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	// Package-level: its parent scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Name()
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error-typed
+// argument without a %w verb anywhere in a constant format string.
+func (pass *Pass) checkErrorfWrap(call *ast.CallExpr) {
+	if !pass.isPkgFunc(call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := pass.constString(call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.Pkg.Info.TypeOf(arg)) {
+			if pass.Pkg.commentedWith(call.Pos(), "errwrap:") {
+				return
+			}
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats an error without %%w, dropping the chain; use %%w (or justify with // errwrap:)")
+			return
+		}
+	}
+}
+
+// checkBoundaryReturns flags return statements in an exported boundary
+// function whose error operand is constructed fresh and unwrapped in the
+// return itself.
+func (pass *Pass) checkBoundaryReturns(fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's returns are not the boundary's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := res.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			switch {
+			case pass.isPkgFunc(call.Fun, "errors", "New"):
+				if !pass.Pkg.commentedWith(call.Pos(), "errwrap:") {
+					pass.Reportf(call.Pos(),
+						"exported %s returns errors.New(...): no sentinel matches it; wrap a package sentinel with %%w",
+						fn.Name.Name)
+				}
+			case pass.isPkgFunc(call.Fun, "fmt", "Errorf"):
+				if format, ok := pass.constString(call.Args[0]); ok && !strings.Contains(format, "%w") {
+					if !pass.Pkg.commentedWith(call.Pos(), "errwrap:") {
+						pass.Reportf(call.Pos(),
+							"exported %s returns a fresh fmt.Errorf without %%w: no sentinel matches it; wrap a package sentinel",
+							fn.Name.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPkgFunc reports whether fun denotes the function pkg.name (resolved
+// through the type checker, so aliased imports are handled).
+func (pass *Pass) isPkgFunc(fun ast.Expr, pkg, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := pass.Pkg.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkg
+}
+
+// constString evaluates e as a constant string.
+func (pass *Pass) constString(e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}

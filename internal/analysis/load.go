@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -184,19 +186,91 @@ func (l *loader) scanDirs() error {
 }
 
 // goFilesIn reports whether dir directly contains at least one non-test Go
-// file.
+// file that the loader would include.
 func goFilesIn(dir string) bool {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return false
 	}
 	for _, e := range entries {
-		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if !e.IsDir() && includeGoFile(dir, e.Name()) {
 			return true
 		}
 	}
 	return false
+}
+
+// includeGoFile reports whether name is a Go file the loader should parse
+// and type-check as part of the package in dir. Mirroring the go tool, it
+// excludes test files, files whose name starts with "_" or "." (editor
+// backups, scratch drafts), and files carrying a build constraint the
+// current platform does not satisfy — most importantly `//go:build ignore`
+// on generator programs, which would otherwise break type-checking of the
+// surrounding package with a spurious "package main" clash.
+func includeGoFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	return constraintSatisfied(filepath.Join(dir, name))
+}
+
+// constraintSatisfied reads the build constraints in the file header (the
+// lines before the package clause) and evaluates them against the running
+// platform. Unreadable files pass — the parser will produce the real error.
+func constraintSatisfied(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return true
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	inBlockComment := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if inBlockComment {
+			if idx := strings.Index(line, "*/"); idx >= 0 {
+				inBlockComment = false
+			}
+			continue
+		}
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "/*"):
+			if !strings.Contains(line[2:], "*/") {
+				inBlockComment = true
+			}
+			continue
+		case strings.HasPrefix(line, "//"):
+			if constraint.IsGoBuild(line) || constraint.IsPlusBuild(line) {
+				expr, perr := constraint.Parse(line)
+				if perr == nil && !expr.Eval(buildTagSatisfied) {
+					return false
+				}
+			}
+			continue
+		default:
+			// First non-comment line is the package clause: constraints must
+			// precede it, so the scan is done.
+			return true
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied is the tag evaluator for constraintSatisfied: the
+// running OS/arch and compiler are true, any released language version is
+// true, everything else — including the conventional "ignore" tag — is
+// false.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // load parses and type-checks one module package (memoized).
@@ -220,9 +294,8 @@ func (l *loader) load(path string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
-			names = append(names, name)
+		if !e.IsDir() && includeGoFile(dir, e.Name()) {
+			names = append(names, e.Name())
 		}
 	}
 	sort.Strings(names)

@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockBalance checks mutex discipline in the configured packages with a
+// forward dataflow over the control-flow graph: a Lock() must be released —
+// by an Unlock() or a registered defer Unlock() — on every path to every
+// return, and a mutex that is definitely held must not be locked again.
+// Both are deadlocks in production (`sync.Mutex` is not reentrant), and
+// both hide behind rarely taken branches, which is exactly what the
+// path-sensitive propagation catches and a lexical scan cannot.
+//
+// The analysis is deliberately conservative about merges: when one
+// predecessor holds the lock and another does not, the state is "maybe"
+// and nothing is reported — helpers called with the lock held (documented
+// "caller holds mu" functions) therefore stay silent, since taking no lock
+// leaves the state unlocked, not maybe.
+func LockBalance(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "lock-balance",
+		Doc:  "every Lock is released on every path to return; no double-lock of a held mutex",
+		Run: func(pass *Pass) {
+			if !stringIn(pass.Pkg.Path, cfg.LockPackages) {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						body = fn.Body
+					case *ast.FuncLit:
+						body = fn.Body
+					default:
+						return true
+					}
+					if body != nil {
+						pass.checkLockBalance(body)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// lockState is the per-mutex abstract state.
+type lockState int8
+
+const (
+	lockUnlocked lockState = iota // definitely not held
+	lockHeld                      // definitely held
+	lockMaybe                     // held on some paths only
+)
+
+// lockFact maps a mutex (by rendered path and operation pair, e.g. "c.mu"
+// or "c.mu.R" for the read side of an RWMutex) to its state and whether a
+// deferred unlock is registered. nil is the dataflow bottom (unreachable).
+type lockFact struct {
+	state    map[string]lockState
+	deferred map[string]bool
+}
+
+func (f *lockFact) clone() *lockFact {
+	c := &lockFact{state: map[string]lockState{}, deferred: map[string]bool{}}
+	for k, v := range f.state {
+		c.state[k] = v
+	}
+	for k := range f.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+type lockLattice struct{}
+
+func (lockLattice) Bottom() *lockFact { return nil }
+
+func (lockLattice) Join(a, b *lockFact) *lockFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	j := a.clone()
+	// A key absent from a fact's state map is lockUnlocked (the zero
+	// value), so both direction sweeps treat absence as unlocked.
+	for k, bv := range b.state {
+		if j.state[k] != bv {
+			j.state[k] = lockMaybe
+		}
+	}
+	for k, av := range a.state {
+		if _, ok := b.state[k]; !ok && av != lockUnlocked {
+			j.state[k] = lockMaybe
+		}
+	}
+	// A deferred unlock on either path suppresses held-at-return reports:
+	// union keeps the analysis quiet rather than wrong.
+	for k := range b.deferred {
+		j.deferred[k] = true
+	}
+	return j
+}
+
+func (lockLattice) Equal(a, b *lockFact) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.state) != len(b.state) || len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k, v := range a.state {
+		if b.state[k] != v {
+			return false
+		}
+	}
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockOp is one mutex operation found in a block.
+type lockOp struct {
+	key      string // mutex path, with ".R" suffix for the read side
+	acquire  bool
+	deferred bool
+	node     ast.Node
+}
+
+// checkLockBalance solves the lock dataflow over one function body and
+// reports on the fixed point.
+func (pass *Pass) checkLockBalance(body *ast.BlockStmt) {
+	g := NewCFG(body)
+	any := false
+	ops := map[*Block][]lockOp{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			pass.lockOpsIn(n, func(op lockOp) {
+				ops[b] = append(ops[b], op)
+				any = true
+			})
+		}
+	}
+	if !any {
+		return
+	}
+	lat := lockLattice{}
+	entry := &lockFact{state: map[string]lockState{}, deferred: map[string]bool{}}
+	transfer := func(b *Block, in *lockFact) *lockFact {
+		if in == nil {
+			return nil
+		}
+		out := in.clone()
+		for _, op := range ops[b] {
+			applyLockOp(out, op, nil)
+		}
+		return out
+	}
+	in, _ := ForwardSolve(g, lat, entry, transfer)
+
+	// Report pass: replay each reachable block once against its fixed-point
+	// in-fact. Walking the block's nodes in order keeps reports tied to the
+	// operation that creates the bad state.
+	for _, b := range g.Blocks {
+		fact := in[b]
+		if fact == nil {
+			continue
+		}
+		cur := fact.clone()
+		for _, n := range b.Nodes {
+			// Returns are checked against the state at that point.
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				pass.reportHeldAt(ret.Pos(), cur)
+			}
+			pass.lockOpsIn(n, func(op lockOp) {
+				applyLockOp(cur, op, func(key string) {
+					pass.Reportf(op.node.Pos(), "%s locked again while already held (sync mutexes are not reentrant)", key)
+				})
+			})
+		}
+		// Implicit fall-off-the-end return: the block flows to exit without
+		// a return statement. Panics are exempt — an unwinding goroutine's
+		// lock state is the recover handler's problem, not a leak this
+		// analyzer can judge.
+		if !endsWithReturnOrPanic(b) {
+			for _, s := range b.Succs {
+				if s == g.Exit {
+					pass.reportHeldAt(blockEndPos(b, body), cur)
+				}
+			}
+		}
+	}
+}
+
+// applyLockOp mutates fact by one operation; onDouble (when non-nil) fires
+// for a Lock of a definitely held mutex.
+func applyLockOp(fact *lockFact, op lockOp, onDouble func(key string)) {
+	switch {
+	case op.acquire:
+		if fact.state[op.key] == lockHeld && onDouble != nil {
+			onDouble(op.key)
+		}
+		fact.state[op.key] = lockHeld
+	case op.deferred:
+		fact.deferred[op.key] = true
+	default:
+		fact.state[op.key] = lockUnlocked
+	}
+}
+
+// reportHeldAt reports each mutex definitely held with no deferred release.
+func (pass *Pass) reportHeldAt(pos token.Pos, fact *lockFact) {
+	keys := make([]string, 0, len(fact.state))
+	for k, st := range fact.state {
+		if st == lockHeld && !fact.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pass.Reportf(pos, "return with %s still held and no deferred unlock on this path", k)
+	}
+}
+
+// lockOpsIn scans one block node for mutex operations, without descending
+// into function literals (their locks belong to their own activation).
+func (pass *Pass) lockOpsIn(n ast.Node, emit func(lockOp)) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch x := child.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if op, ok := pass.asLockOp(x.Call); ok && !op.acquire {
+				op.deferred = true
+				emit(op)
+			}
+			return false
+		case *ast.CallExpr:
+			if op, ok := pass.asLockOp(x); ok {
+				emit(op)
+			}
+		}
+		return true
+	})
+}
+
+// asLockOp decodes a call as a mutex operation when its receiver is a
+// sync.Mutex or sync.RWMutex reachable through an identifier/selector path.
+func (pass *Pass) asLockOp(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var acquire, read bool
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "Unlock":
+	case "RLock":
+		acquire, read = true, true
+	case "RUnlock":
+		read = true
+	default:
+		return lockOp{}, false
+	}
+	t := pass.Pkg.Info.TypeOf(sel.X)
+	if t == nil || !isSyncLocker(t) {
+		return lockOp{}, false
+	}
+	key := exprName(sel.X)
+	if key == "" {
+		return lockOp{}, false
+	}
+	if read {
+		key += ".R"
+	}
+	return lockOp{key: key, acquire: acquire, node: call}, true
+}
+
+// isSyncLocker reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncLocker(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// endsWithReturnOrPanic reports whether b's last node is a return statement
+// or a panic call.
+func endsWithReturnOrPanic(b *Block) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	switch last := b.Nodes[len(b.Nodes)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockEndPos picks a position for an implicit return: the last node of the
+// block, or the body's closing brace for empty blocks.
+func blockEndPos(b *Block, body *ast.BlockStmt) token.Pos {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[len(b.Nodes)-1].Pos()
+	}
+	return body.Rbrace
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// jsonFinding is the machine-readable form of one Finding. Positions are
+// split into file/line/column so consumers do not have to re-parse the
+// human-readable "file:line:col" rendering.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the envelope WriteJSON emits.
+type jsonReport struct {
+	Tool     string        `json:"tool"`
+	Count    int           `json:"count"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// WriteJSON writes findings to w as a single indented JSON document:
+// {"tool":"sialint","count":N,"findings":[...]}. Paths are rewritten
+// relative to baseDir when possible, so the output is stable across
+// checkout locations. The findings array is always present (empty, not
+// null, when there is nothing to report).
+func WriteJSON(w io.Writer, findings []Finding, baseDir string) error {
+	report := jsonReport{
+		Tool:     "sialint",
+		Count:    len(findings),
+		Findings: make([]jsonFinding, 0, len(findings)),
+	}
+	for _, f := range findings {
+		report.Findings = append(report.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relativeTo(baseDir, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// SARIF 2.1.0 skeleton — only the fields code-scanning consumers require.
+// The full schema is enormous; this subset (tool driver with rules, one
+// result per finding with a physical location) is what GitHub code scanning
+// and most SARIF viewers read.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes findings to w as a SARIF 2.1.0 log with one run. Every
+// analyzer that contributed a finding appears as a rule; every finding is an
+// error-level result anchored at its start position. Paths are emitted
+// relative to baseDir with the %SRCROOT% base id, the convention SARIF
+// consumers use to re-root results onto a checkout.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, baseDir string) error {
+	docs := map[string]string{}
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	used := map[string]bool{}
+	for _, f := range findings {
+		used[f.Analyzer] = true
+	}
+	names := make([]string, 0, len(used))
+	for name := range used {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rules := make([]sarifRule, 0, len(names))
+	for _, name := range names {
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifText{Text: docs[name]}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(relativeTo(baseDir, f.Pos.Filename)),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "sialint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relativeTo rewrites path relative to base when that produces a path inside
+// base; otherwise the input is returned unchanged.
+func relativeTo(base, path string) string {
+	if base == "" {
+		return path
+	}
+	rel, err := filepath.Rel(base, path)
+	if err != nil || rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return path
+	}
+	return rel
+}

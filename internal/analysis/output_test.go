@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{
+			Analyzer: "cancel-poll",
+			Pos:      token.Position{Filename: "/repo/internal/smt/solver.go", Line: 10, Column: 2},
+			Message:  "loop does not poll cancellation",
+		},
+		{
+			Analyzer: "err-wrap",
+			Pos:      token.Position{Filename: "/repo/core/errors.go", Line: 3, Column: 9},
+			Message:  "use errors.Is",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleFindings(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Tool     string `json:"tool"`
+		Count    int    `json:"count"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Tool != "sialint" || got.Count != 2 || len(got.Findings) != 2 {
+		t.Fatalf("envelope = %+v", got)
+	}
+	f := got.Findings[0]
+	if f.Analyzer != "cancel-poll" || f.File != "internal/smt/solver.go" || f.Line != 10 || f.Column != 2 {
+		t.Errorf("finding[0] = %+v", f)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty findings must encode as [], not null:\n%s", buf.String())
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	analyzers := Analyzers(DefaultConfig())
+	if err := WriteSARIF(&buf, sampleFindings(), analyzers, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log envelope = %+v", log)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "sialint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Only the two analyzers with findings become rules, sorted by id.
+	if len(run.Tool.Driver.Rules) != 2 ||
+		run.Tool.Driver.Rules[0].ID != "cancel-poll" || run.Tool.Driver.Rules[1].ID != "err-wrap" {
+		t.Errorf("rules = %+v", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "cancel-poll" || r.Level != "error" {
+		t.Errorf("result[0] = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/smt/solver.go" || loc.Region.StartLine != 10 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
+// TestRunParallelMatchesRun pins that the concurrent driver produces the
+// exact finding sequence of the serial one on a real corpus (the bad
+// fixtures, which actually produce findings).
+func TestRunParallelMatchesRun(t *testing.T) {
+	cfg := cancelCfg("cpbad")
+	pkgs := loadFixture(t, "cancelpoll_bad")
+	analyzers := []*Analyzer{CancelPoll(cfg)}
+	serial := Run(pkgs, analyzers, cfg)
+	for _, workers := range []int{0, 1, 2, 8} {
+		parallel := RunParallel(pkgs, analyzers, cfg, workers)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: got %d findings, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Errorf("workers=%d: finding %d = %+v, want %+v", workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module cpbad
+
+go 1.22

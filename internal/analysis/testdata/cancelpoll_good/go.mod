@@ -1,0 +1,3 @@
+module cpgood
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package solver is the known-good corpus for the cancel-poll analyzer:
+// every while-style loop either polls cancellation on all paths through
+// its body or carries a // cancel: justification.
+package solver
+
+import "context"
+
+// S mimics the SMT solver's stop plumbing.
+type S struct{ stopped bool }
+
+func (s *S) checkStop() error {
+	if s.stopped {
+		return context.Canceled
+	}
+	return nil
+}
+
+func step(n int) int { return n / 2 }
+
+// Converge polls with checkStop at the top of every cycle.
+func Converge(s *S, n int) (int, error) {
+	for n > 1 {
+		if err := s.checkStop(); err != nil {
+			return 0, err
+		}
+		n = step(n)
+	}
+	return n, nil
+}
+
+// PollsOnEveryBranch polls on both sides of the branch, so every cycle
+// passes a poll even though no single poll dominates the body.
+func PollsOnEveryBranch(s *S, n int) error {
+	for {
+		if n%2 == 0 {
+			if err := s.checkStop(); err != nil {
+				return err
+			}
+			n = step(n)
+		} else {
+			if err := s.checkStop(); err != nil {
+				return err
+			}
+			n = 3*n + 1
+		}
+		if n <= 1 {
+			return nil
+		}
+	}
+}
+
+// CtxAware polls through the context directly.
+func CtxAware(ctx context.Context, n int) error {
+	for n > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n--
+	}
+	return nil
+}
+
+// CallsCtxTakingFunc polls indirectly: every cycle calls a function that
+// receives the context, which is cancellation-aware by convention.
+func CallsCtxTakingFunc(ctx context.Context, n int) error {
+	for n > 0 {
+		m, err := query(ctx, n)
+		if err != nil {
+			return err
+		}
+		n = m
+	}
+	return nil
+}
+
+func query(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n - 1, nil
+}
+
+// BudgetBounded decrements a budget every cycle; exhausting the budget is
+// the cancellation mechanism.
+func BudgetBounded(n int) int {
+	budget := 1 << 10
+	for n > 1 {
+		budget--
+		if budget <= 0 {
+			break
+		}
+		n = step(n)
+	}
+	return n
+}
+
+// Euclid is justified: the trip count is mathematically bounded.
+func Euclid(a, b int) int {
+	// cancel: Euclid's algorithm on machine integers converges in O(log) steps.
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Counted loops and range loops are never candidates.
+func Counted(xs []int) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// SelectDone polls through the ctx.Done comm clause: the select head
+// re-evaluates readiness every cycle.
+func SelectDone(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package api is the known-bad corpus for the err-wrap analyzer.
+package api
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the package sentinel.
+var ErrBudget = errors.New("api: budget exceeded")
+
+func work(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: n = %d", ErrBudget, n)
+	}
+	return nil
+}
+
+// CompareEq matches the sentinel with ==: wrapped errors never match.
+// Must be flagged.
+func CompareEq(err error) bool {
+	return err == ErrBudget
+}
+
+// CompareNeq matches with !=. Must be flagged.
+func CompareNeq(err error) bool {
+	return err != ErrBudget
+}
+
+// DropsChain formats the error with %v, severing the chain. Must be
+// flagged (once: the wrap happens off the return statement, so only the
+// %w rule fires, not the boundary rule).
+func DropsChain(n int) error {
+	if err := work(n); err != nil {
+		wrapped := fmt.Errorf("drops: %v", err)
+		return wrapped
+	}
+	return nil
+}
+
+// FreshNew returns errors.New at the exported boundary: nothing can ever
+// match it. Must be flagged.
+func FreshNew() error {
+	return errors.New("api: something went wrong")
+}
+
+// FreshErrorf returns a chain-less fmt.Errorf at the boundary. Must be
+// flagged.
+func FreshErrorf(n int) error {
+	return fmt.Errorf("api: bad value %d", n)
+}

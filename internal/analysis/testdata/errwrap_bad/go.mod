@@ -1,0 +1,3 @@
+module ewbad
+
+go 1.22

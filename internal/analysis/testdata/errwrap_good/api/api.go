@@ -1,0 +1,49 @@
+// Package api is the known-good corpus for the err-wrap analyzer: sentinel
+// matching goes through errors.Is, wrapping keeps the chain with %w, and
+// the exported boundary only returns sentinel-wrapped errors.
+package api
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the package sentinel every public error wraps.
+var ErrBudget = errors.New("api: budget exceeded")
+
+func work(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: n = %d", ErrBudget, n)
+	}
+	return nil
+}
+
+// Run wraps the sentinel with %w at the boundary.
+func Run(n int) error {
+	if err := work(n); err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	return nil
+}
+
+// IsBudget matches with errors.Is, never ==.
+func IsBudget(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// NilChecks compares against nil freely.
+func NilChecks(err error) bool {
+	return err == nil || err != nil
+}
+
+// Passthrough returns an error variable unchanged; only fresh
+// constructions are boundary findings.
+func Passthrough(err error) error {
+	return err
+}
+
+// Identity holds a justified identity comparison.
+func Identity(err error) bool {
+	// errwrap: exact identity wanted — this deduplicates one known value.
+	return err == ErrBudget
+}

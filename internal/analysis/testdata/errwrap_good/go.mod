@@ -1,0 +1,3 @@
+module ewgood
+
+go 1.22

@@ -1,0 +1,3 @@
+module lskip
+
+go 1.22

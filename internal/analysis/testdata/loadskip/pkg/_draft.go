@@ -1,0 +1,5 @@
+package pkg
+
+// Underscore-prefixed files are invisible to the go tool; this one would
+// not even parse.
+func Broken() int { return undefinedSymbol +

@@ -1,0 +1,10 @@
+//go:build ignore
+
+// This is a generator program of the kind committed next to the package it
+// generates. It is package main and references symbols that do not exist,
+// so loading it alongside pkg would fail type-checking twice over.
+package main
+
+func main() {
+	emitAllTheCode() // undefined on purpose
+}

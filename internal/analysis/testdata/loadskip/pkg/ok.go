@@ -1,0 +1,7 @@
+// Package pkg is the loader-skip regression fixture: the directory also
+// holds a //go:build ignore generator, an underscore-prefixed draft, and a
+// wrong-platform file, none of which may reach the type checker.
+package pkg
+
+// Answer is the only symbol the loader should see in this directory.
+func Answer() int { return 42 }

@@ -1,0 +1,8 @@
+//go:build someotheros && !someotheros2
+
+package pkg
+
+// Answer is redeclared here: if the loader ever includes a file whose build
+// constraint the platform does not satisfy, type-checking fails on the
+// duplicate.
+func Answer() int { return 0 }

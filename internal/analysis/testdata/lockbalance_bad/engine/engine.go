@@ -1,0 +1,31 @@
+// Package engine is the known-bad corpus for the lock-balance analyzer:
+// double-locks and paths that return with the mutex still held.
+package engine
+
+import "sync"
+
+// Counter is a mutex-guarded value.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// DoubleLock locks a held mutex: self-deadlock. Must be flagged (the
+// second Lock), and the fall-off-the-end return still holds the lock —
+// flagged too.
+func (c *Counter) DoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock()
+}
+
+// LeakOnEarlyReturn forgets the unlock on the early-return branch. Must be
+// flagged at the return inside the if.
+func (c *Counter) LeakOnEarlyReturn(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		return limit
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}

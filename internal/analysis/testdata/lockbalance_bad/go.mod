@@ -1,0 +1,3 @@
+module lbbad
+
+go 1.22

@@ -1,0 +1,75 @@
+// Package engine is the known-good corpus for the lock-balance analyzer:
+// every Lock is paired with an Unlock (explicit or deferred) on every path
+// to return, including across branches, loops, and early returns.
+package engine
+
+import "sync"
+
+// Counter is a mutex-guarded value.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// DeferStyle is the canonical pairing.
+func (c *Counter) DeferStyle() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// BranchBalanced unlocks explicitly on both the early-return path and the
+// fall-through path.
+func (c *Counter) BranchBalanced(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		c.mu.Unlock()
+		return limit
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// LoopReacquire locks and releases once per iteration — the singleflight
+// retry-loop shape the result cache uses.
+func (c *Counter) LoopReacquire(rounds int) int {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		if c.n == 0 {
+			c.mu.Unlock()
+			continue
+		}
+		total += c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// HelperAssumesHeld documents a caller-holds-the-lock contract: it takes no
+// lock itself, so its state stays definitely-unlocked and nothing fires.
+// Caller holds c.mu.
+func (c *Counter) HelperAssumesHeld() int {
+	return c.n
+}
+
+// RW pairs the read lock independently from the write lock.
+type RW struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Read uses the read side, deferred.
+func (r *RW) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+// Write uses the write side, explicit.
+func (r *RW) Write(n int) {
+	r.mu.Lock()
+	r.n = n
+	r.mu.Unlock()
+}

@@ -1,0 +1,3 @@
+module lbgood
+
+go 1.22

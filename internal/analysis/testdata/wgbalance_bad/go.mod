@@ -1,0 +1,3 @@
+module wgbad
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package pool is the known-bad corpus for the wg-balance analyzer.
+package pool
+
+import "sync"
+
+// AddInsideGoroutine increments the counter from the goroutine itself:
+// Wait can observe the group at zero before the goroutine runs. Must be
+// flagged.
+func AddInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// DoneWithoutAdd launches a goroutine that calls Done with no Add
+// anywhere before the launch: the counter goes negative and panics.
+// Must be flagged.
+func DoneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,3 @@
+module wggood
+
+go 1.22

@@ -1,0 +1,47 @@
+// Package pool is the known-good corpus for the wg-balance analyzer:
+// every goroutine launch that calls Done has a matching Add before the
+// launch, and Add is never issued from inside the goroutine it guards.
+package pool
+
+import "sync"
+
+// FanOut is the canonical shape: Add(1) before each launch, defer Done
+// inside it.
+func FanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// BatchAdd reserves the whole batch up front, then launches.
+func BatchAdd(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// NoWaitGroup launches plain goroutines; nothing to pair.
+func NoWaitGroup(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// Justified carries a marker explaining an Add that the analyzer cannot
+// see (the Add happens in the caller).
+func Justified(wg *sync.WaitGroup) {
+	// wg: caller reserved this slot via Add before handing us the group.
+	go func() {
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WgBalance checks sync.WaitGroup pairing around goroutine launches, the
+// two mechanical mistakes that turn a fan-out into a race or a hang:
+//
+//   - wg.Add called inside the launched goroutine instead of before the go
+//     statement — Wait can run before the goroutine is scheduled, see a
+//     zero counter, and return while work is still in flight;
+//   - a goroutine that calls wg.Done on a WaitGroup with no wg.Add
+//     anywhere before the go statement in the launching function — either
+//     the Add is missing (Done panics on a zero counter) or the pairing is
+//     split across functions where no analyzer or reviewer can match it.
+//
+// The rule is module-wide: correct WaitGroup usage has the same shape
+// everywhere, `wg.Add(n)` before `go`, `defer wg.Done()` inside.
+func WgBalance(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "wg-balance",
+		Doc:  "wg.Add precedes the go statement; never Add inside the launched goroutine",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						body = fn.Body
+					case *ast.FuncLit:
+						body = fn.Body
+					default:
+						return true
+					}
+					if body != nil {
+						pass.checkWgBalance(body)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkWgBalance inspects one function body's go statements. The lexical
+// order of the body is the approximation of "happens before the launch":
+// an Add textually after the go statement cannot synchronize it.
+func (pass *Pass) checkWgBalance(body *ast.BlockStmt) {
+	// Collect the positions of every wg.Add in this body outside any
+	// function literal, keyed by WaitGroup path.
+	addsBefore := map[string][]ast.Node{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if key, ok := pass.asWgCall(call, "Add"); ok {
+				addsBefore[key] = append(addsBefore[key], call)
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested launches are checked against their own body
+		}
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true // go someFunc(...): pairing is someFunc's contract
+		}
+		// Adds inside the launched goroutine race with Wait.
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			if call, ok := inner.(*ast.CallExpr); ok {
+				if key, ok := pass.asWgCall(call, "Add"); ok {
+					pass.Reportf(call.Pos(),
+						"%s.Add inside the launched goroutine races with Wait; call Add before the go statement", key)
+				}
+			}
+			return true
+		})
+		// A Done inside the goroutine needs an Add before the launch.
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, ok := pass.asWgCall(call, "Done")
+			if !ok {
+				return true
+			}
+			preceded := false
+			for _, add := range addsBefore[key] {
+				if add.Pos() < gs.Pos() {
+					preceded = true
+					break
+				}
+			}
+			if !preceded && !pass.Pkg.commentedWith(gs.Pos(), "wg:") {
+				pass.Reportf(gs.Pos(),
+					"goroutine calls %s.Done but no %s.Add precedes the go statement in this function; pair them in one function, or justify with // wg:", key, key)
+			}
+			return false // one report per launch is enough
+		})
+		return true
+	})
+}
+
+// asWgCall decodes a call as method (Add/Done/Wait) on a sync.WaitGroup
+// reachable through an identifier/selector path, returning the rendered
+// WaitGroup path.
+func (pass *Pass) asWgCall(call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	t := pass.Pkg.Info.TypeOf(sel.X)
+	if t == nil || !isWaitGroup(t) {
+		return "", false
+	}
+	key := exprName(sel.X)
+	if key == "" {
+		return "", false
+	}
+	return key, true
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (possibly behind a
+// pointer).
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

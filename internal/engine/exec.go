@@ -118,6 +118,7 @@ func compileLinearCompare(x *predicate.Compare, t *Table) (func(row int) bool, b
 
 func lcmInt64(a, b int64) int64 {
 	g, x := a, b
+	// cancel: Euclid's algorithm converges in at most ~90 steps on int64.
 	for x != 0 {
 		g, x = x, g%x
 	}
@@ -487,6 +488,7 @@ func HashJoinWherePar(l, r *Table, lkey, rkey string, lpred, rpred predicate.Pre
 func partitionCount(par, buildRows int) int {
 	par = normalizeParallelism(par, buildRows)
 	n := 1
+	// cancel: doubles to the worker count, at most log2(maxPartitions) steps.
 	for n < par {
 		n *= 2
 	}

@@ -67,6 +67,9 @@ func forEachMorsel(n, par int, fn func(worker, morsel, lo, hi int)) int {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// cancel: claim loop; the shared counter only grows, so each
+			// worker exits after at most `morsels` claims. Cancellation is
+			// the caller's business at morsel granularity, not per claim.
 			for {
 				m := int(next.Add(1)) - 1
 				if m >= morsels {
@@ -113,6 +116,7 @@ func forEachTask(n, par int, fn func(task int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// cancel: claim loop bounded by the task count, as above.
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

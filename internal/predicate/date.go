@@ -80,7 +80,7 @@ func DaysToDate(days int64) (year, month, day int) {
 func ParseDate(s string) (int64, error) {
 	var y, m, d int
 	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
-		return 0, fmt.Errorf("predicate: invalid date %q: %v", s, err)
+		return 0, fmt.Errorf("predicate: invalid date %q: %w", s, err)
 	}
 	if m < 1 || m > 12 || d < 1 || d > 31 {
 		return 0, fmt.Errorf("predicate: invalid date %q", s)

@@ -326,13 +326,13 @@ func (p *parser) parseFactor() (Expr, error) {
 		if strings.ContainsRune(t.text, '.') {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
-				return nil, fmt.Errorf("predicate: bad number %q: %v", t.text, err)
+				return nil, fmt.Errorf("predicate: bad number %q: %w", t.text, err)
 			}
 			return RealConst(f), nil
 		}
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("predicate: bad number %q: %v", t.text, err)
+			return nil, fmt.Errorf("predicate: bad number %q: %w", t.text, err)
 		}
 		return IntConst(n), nil
 	case t.kind == tokString:
@@ -382,7 +382,7 @@ func (p *parser) parseFactor() (Expr, error) {
 				return nil, fmt.Errorf("predicate: INTERVAL must be followed by a count at position %d", lit.pos)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("predicate: bad interval %q: %v", lit.text, err)
+				return nil, fmt.Errorf("predicate: bad interval %q: %w", lit.text, err)
 			}
 			if !p.acceptKeyword("DAY") && !p.acceptKeyword("DAYS") {
 				return nil, fmt.Errorf("predicate: only DAY intervals are supported (position %d)", p.peek().pos)
