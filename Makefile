@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine race-serve lint lint-json lint-sarif fuzz-smoke check clean
+.PHONY: build vet test race race-engine race-serve lint lint-json lint-sarif fuzz-smoke smoke-siad check clean
 
 build:
 	$(GO) build ./...
@@ -38,8 +38,13 @@ lint-sarif:
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
 
+# Black-box daemon smoke test: start siad, probe /healthz and /metrics,
+# require a clean SIGTERM shutdown within 5s.
+smoke-siad:
+	./scripts/smoke-siad.sh
+
 # check is the full CI gate: everything must pass before merging.
-check: build vet race race-engine race-serve lint
+check: build vet race race-engine race-serve lint smoke-siad
 
 clean:
 	$(GO) clean ./...

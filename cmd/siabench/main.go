@@ -4,11 +4,19 @@
 //
 //	siabench -experiment table2 -queries 200
 //	siabench -all -queries 40 -scale 1,10
+//	siabench -experiment table3 -trace cegis.jsonl
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, fig8, fig9,
 // motivating. Table 2/3 and Fig. 7/8 share one synthesis sweep; Table 4
 // and Fig. 9 share one runtime run. Defaults are laptop-sized; the paper's
 // scale is -queries 200 -scale 100,1000 (TPC-H SF 1 and 10).
+//
+// -trace FILE records every CEGIS loop as JSONL spans (one line per
+// sampling round, learning iteration, verification and outcome — the raw
+// form of the paper's Table 3 breakdown; see internal/obs and
+// docs/OBSERVABILITY.md for the schema). Tracing makes synthesis runs
+// uncacheable, so Fig. 9's synthesis memoization is bypassed and traced
+// runs are slower.
 package main
 
 import (
@@ -21,9 +29,17 @@ import (
 
 	"sia/internal/experiments"
 	"sia/internal/maxcompute"
+	"sia/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "siabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	exp := flag.String("experiment", "", "one of table1..table4, fig6..fig9, motivating")
 	all := flag.Bool("all", false, "run every experiment")
 	queries := flag.Int("queries", 40, "number of benchmark queries (paper: 200)")
@@ -31,17 +47,37 @@ func main() {
 	population := flag.Int("population", 2000, "case-study population size (fig6)")
 	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
 	parallelism := flag.Int("parallelism", 0, "engine worker count for plan execution (0 = one per CPU; results are identical at any setting)")
+	trace := flag.String("trace", "", "write CEGIS trace spans to this file as JSONL (disables synthesis caching)")
 	flag.Parse()
 
 	var sfs []float64
 	for _, s := range strings.Split(*scale, ",") {
 		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad scale %q: %w", s, err))
+			return fmt.Errorf("bad scale %q: %w", s, err)
 		}
 		sfs = append(sfs, f)
 	}
 	cfg := experiments.Config{Queries: *queries, Seed: *seed, ScaleFactors: sfs, Parallelism: *parallelism}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		tr := obs.NewTracer(f)
+		cfg.Tracer = tr
+		// Close flushes buffered spans and surfaces any write error; the
+		// file itself must also reach disk before we report success.
+		defer func() {
+			if cerr := tr.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "siabench: trace:", cerr)
+			}
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "siabench: trace:", cerr)
+			}
+		}()
+	}
 
 	run := map[string]bool{}
 	if *all {
@@ -54,7 +90,7 @@ func main() {
 		}
 	} else {
 		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("no experiment selected")
 	}
 
 	// Shared sweeps.
@@ -65,7 +101,7 @@ func main() {
 		var err error
 		records, err = experiments.SynthesisSweep(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "synthesis sweep: %d records in %v\n", len(records), time.Since(start).Round(time.Millisecond))
 	}
@@ -75,7 +111,7 @@ func main() {
 		var err error
 		runtimeRecords, err = experiments.Fig9(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "runtime experiment: %d records in %v\n", len(runtimeRecords), time.Since(start).Round(time.Millisecond))
 	}
@@ -105,7 +141,7 @@ func main() {
 	if run["fig6"] {
 		qs, err := maxcompute.Simulate(maxcompute.Config{N: *population})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		section("Fig 6: MaxCompute case study (simulated population)", experiments.RenderFig6(qs))
 	}
@@ -113,14 +149,10 @@ func main() {
 		for _, sf := range sfs {
 			m, err := experiments.Motivating(sf)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			section(fmt.Sprintf("Motivating example (scale %g)", sf), experiments.RenderMotivating(m))
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "siabench:", err)
-	os.Exit(1)
+	return nil
 }

@@ -5,9 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /synthesize  — synthesize a reduction (JSON in, JSON out)
-//	GET  /healthz     — liveness probe
-//	GET  /stats       — uptime, request counts, cache counters
+//	POST /synthesize   — synthesize a reduction (JSON in, JSON out)
+//	GET  /healthz      — liveness probe (503 while draining)
+//	GET  /stats        — uptime, request counts, cache counters
+//	GET  /metrics      — Prometheus text exposition (server + process metrics)
+//	GET  /debug/vars   — expvar JSON (includes the sia_metrics snapshot)
+//	GET  /debug/pprof/ — run-time profiles (only with -pprof)
 //
 // A request names its schema inline, so one daemon serves any catalog:
 //
@@ -26,59 +29,149 @@
 // deadline gets 504 with an error naming the timeout; malformed input gets
 // 400; identical concurrent requests share a single synthesis run and
 // repeated ones are answered from the cache.
+//
+// The process shuts down gracefully: SIGINT or SIGTERM stops accepting new
+// synthesis work (503), fails the liveness probe so load balancers drain
+// the instance, and waits up to -drain-timeout for in-flight requests
+// before exiting 0. Every request is access-logged as one structured JSON
+// line on stderr.
 package main
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sia/internal/cache"
 	"sia/internal/core"
+	"sia/internal/obs"
 	"sia/internal/predicate"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	capacity := flag.Int("cache", cache.DefaultCapacity, "result-cache capacity (entries)")
 	defaultTimeout := flag.Duration("default-timeout", 30*time.Second, "per-request deadline when the client sets none")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper bound on client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := newServer(*capacity, *defaultTimeout, *maxTimeout)
-	log.Printf("siad listening on %s (cache capacity %d)", *addr, *capacity)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
-		fmt.Fprintln(os.Stderr, "siad:", err)
-		os.Exit(1)
+	srv.logger = logger
+	srv.pprof = *enablePprof
+	obs.PublishExpvar()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("siad listening", "addr", *addr, "cache_capacity", *capacity, "pprof", *enablePprof)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("siad server failed", "err", err.Error())
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new synthesis work, fail the liveness probe, then wait
+	// for in-flight requests up to the drain budget.
+	stop()
+	srv.draining.Store(true)
+	logger.Info("siad draining", "drain_timeout", drainTimeout.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Error("siad shutdown incomplete", "err", err.Error())
+		return 1
+	}
+	logger.Info("siad stopped")
+	return 0
 }
 
-// server is the daemon's state: one shared synthesis cache plus counters.
-// It is separated from main so the handler tests drive it via httptest.
+// server is the daemon's state: one shared synthesis cache, a per-server
+// metrics registry, and the drain flag. It is separated from main so the
+// handler tests drive it via httptest.
 type server struct {
 	synth          *cache.Synthesizer
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	start          time.Time
-	requests       atomic.Uint64
-	failures       atomic.Uint64
+	logger         *slog.Logger
+	pprof          bool
+	draining       atomic.Bool
+
+	// reg holds this server's own metrics (request counters, latency
+	// histograms, the cache's counters). /metrics serves it merged with
+	// obs.Default(), which the instrumented internal packages feed.
+	reg      *obs.Registry
+	requests *obs.Counter
+	failures *obs.Counter
+	latency  map[string]*obs.Histogram
 }
 
+// Endpoints with their own latency series; anything else lands in "other"
+// so label cardinality stays bounded.
+var knownPaths = []string{"/synthesize", "/healthz", "/stats", "/metrics", "/debug/vars", "other"}
+
 func newServer(capacity int, defaultTimeout, maxTimeout time.Duration) *server {
-	return &server{
+	reg := obs.NewRegistry()
+	s := &server{
 		synth:          cache.NewSynthesizer(capacity),
 		defaultTimeout: defaultTimeout,
 		maxTimeout:     maxTimeout,
 		start:          time.Now(),
+		logger:         slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		reg:            reg,
+		requests:       reg.Counter("sia_http_requests_total", "HTTP requests served."),
+		failures:       reg.Counter("sia_http_failures_total", "HTTP requests answered with status >= 400."),
+		latency:        map[string]*obs.Histogram{},
 	}
+	for _, p := range knownPaths {
+		s.latency[p] = reg.Histogram("sia_http_request_seconds",
+			"HTTP request latency by endpoint.", obs.DurationBuckets(),
+			obs.Label{Key: "path", Value: p})
+	}
+	// A fresh registry cannot already hold these names; a failure here is a
+	// programmer error, not a runtime condition.
+	if err := s.synth.RegisterMetrics(reg); err != nil {
+		panic("siad: " + err.Error())
+	}
+	if err := reg.GaugeFunc("sia_process_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() }); err != nil {
+		panic("siad: " + err.Error())
+	}
+	return s
 }
 
 func (s *server) handler() http.Handler {
@@ -86,7 +179,66 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/synthesize", s.handleSynthesize)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// cacheOutcomeHeader carries the cache outcome ("hit" or "miss") from the
+// synthesize handler to the access-log middleware. It travels as a real
+// response header, so clients can observe it too.
+const cacheOutcomeHeader = "X-Sia-Cache"
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request counting, per-endpoint latency
+// histograms, and one structured access-log line per request. Counters are
+// bumped after the handler returns, so a /stats request reports the state
+// before itself.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+
+		path := r.URL.Path
+		if _, ok := s.latency[path]; !ok {
+			path = "other"
+		}
+		s.requests.Inc()
+		if rec.status >= 400 {
+			s.failures.Inc()
+		}
+		s.latency[path].Observe(elapsed.Seconds())
+
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Duration("duration", elapsed),
+		}
+		if outcome := rec.Header().Get(cacheOutcomeHeader); outcome != "" {
+			attrs = append(attrs, slog.String("cache", outcome))
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
 }
 
 // synthesizeRequest is the wire form of one synthesis call. Durations are
@@ -138,7 +290,10 @@ type errorResponse struct {
 }
 
 func (s *server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return
+	}
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
@@ -207,12 +362,30 @@ func (s *server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if res.Predicate != nil {
 		resp.Predicate = res.Predicate.String()
 	}
+	if cached {
+		w.Header().Set(cacheOutcomeHeader, "hit")
+	} else {
+		w.Header().Set(cacheOutcomeHeader, "miss")
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the Prometheus exposition: this server's registry
+// (request counters, latency, cache) merged with the process-wide Default
+// registry (synthesis, solver, engine).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w, s.reg, obs.Default())
 }
 
 type statsResponse struct {
@@ -225,14 +398,13 @@ type statsResponse struct {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		Failures:      s.failures.Load(),
+		Requests:      s.requests.Value(),
+		Failures:      s.failures.Value(),
 		Cache:         s.synth.Stats(),
 	})
 }
 
 func (s *server) fail(w http.ResponseWriter, status int, err error) {
-	s.failures.Add(1)
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 

@@ -15,6 +15,7 @@ import (
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
 	srv := newServer(64, 30*time.Second, time.Minute)
+	srv.logger = discardLogger()
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -186,6 +187,7 @@ func TestMethodNotAllowed(t *testing.T) {
 
 func TestRequestDeadline(t *testing.T) {
 	srv := newServer(64, 30*time.Second, time.Minute)
+	srv.logger = discardLogger()
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 
@@ -215,6 +217,7 @@ func TestMaxTimeoutCap(t *testing.T) {
 	// indirectly: with maxTimeout of 1 ms even a huge timeout_ms request
 	// times out.
 	srv := newServer(64, time.Millisecond, time.Millisecond)
+	srv.logger = discardLogger()
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	body := strings.Replace(quickstartBody, "\n}",

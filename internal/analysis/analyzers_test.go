@@ -23,7 +23,7 @@ func TestCancelPollGood(t *testing.T) {
 func TestCancelPollBad(t *testing.T) {
 	cfg := cancelCfg("cpbad")
 	got := runOne(t, "cancelpoll_bad", cfg, CancelPoll(cfg))
-	wantFindings(t, got, 3, "poll")
+	wantFindings(t, got, 4, "poll")
 }
 
 func TestErrWrapGood(t *testing.T) {

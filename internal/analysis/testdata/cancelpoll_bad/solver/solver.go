@@ -51,3 +51,18 @@ func PollInClosureDoesNotCount(s *S, n int) func() error {
 	}
 	return poll
 }
+
+// Tracer mimics internal/obs: Emit records a span and is NOT a poll.
+type Tracer struct{ n int }
+
+func (t *Tracer) Emit(event string) { t.n++ }
+
+// TracesButNeverPolls emits a span every cycle but never polls: observing
+// a loop is not the same as being able to stop it. Must be flagged.
+func TracesButNeverPolls(t *Tracer, n int) int {
+	for n > 1 {
+		t.Emit("iteration")
+		n = step(n)
+	}
+	return n
+}

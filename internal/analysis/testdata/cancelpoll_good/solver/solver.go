@@ -128,3 +128,21 @@ func SelectDone(ctx context.Context, ch chan int) int {
 		}
 	}
 }
+
+// Tracer mimics internal/obs: Emit records a span and is NOT a poll.
+type Tracer struct{ n int }
+
+func (t *Tracer) Emit(event string) { t.n++ }
+
+// InstrumentedConverge both polls and emits a trace span every cycle: the
+// instrumentation rides along without disturbing the cancellation contract.
+func InstrumentedConverge(s *S, t *Tracer, n int) (int, error) {
+	for n > 1 {
+		if err := s.checkStop(); err != nil {
+			return 0, err
+		}
+		t.Emit("iteration")
+		n = step(n)
+	}
+	return n, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sia/internal/core"
+	"sia/internal/obs"
 	"sia/internal/predicate"
 )
 
@@ -45,7 +46,12 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	entries  map[string]*list.Element
 	inflight map[string]*call
-	stats    Stats
+
+	// The monotone counters are obs instruments so a registry can read
+	// them live; Stats() is a snapshot view over the same values.
+	hits, misses, coalesced, evictions obs.Counter
+
+	tracer *obs.Tracer
 }
 
 type entry struct {
@@ -109,15 +115,17 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (*c
 		c.mu.Lock()
 		if el, ok := c.entries[key]; ok {
 			c.ll.MoveToFront(el)
-			c.stats.Hits++
+			c.hits.Inc()
 			res := el.Value.(*entry).res
 			c.mu.Unlock()
+			c.traceOutcome("hit")
 			return res, true, nil
 		}
 		if cl, ok := c.inflight[key]; ok && !cl.abandoned {
 			cl.waiters++
-			c.stats.Coalesced++
+			c.coalesced.Inc()
 			c.mu.Unlock()
+			c.traceOutcome("coalesced")
 			res, err, retry := c.wait(ctx, cl)
 			if retry {
 				continue
@@ -127,11 +135,12 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) (*c
 		// Miss: become the leader. The runner's context inherits ctx's
 		// values but not its cancellation; it is cancelled only when the
 		// last waiter abandons the call.
-		c.stats.Misses++
+		c.misses.Inc()
 		runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 		cl := &call{done: make(chan struct{}), cancel: cancel, waiters: 1}
 		c.inflight[key] = cl
 		c.mu.Unlock()
+		c.traceOutcome("miss")
 		go c.run(key, cl, runCtx, fn)
 		res, err, retry := c.wait(ctx, cl)
 		if retry {
@@ -206,7 +215,7 @@ func (c *Cache) insert(key string, res *core.Result) {
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.entries, back.Value.(*entry).key)
-		c.stats.Evictions++
+		c.evictions.Inc()
 	}
 }
 
@@ -214,10 +223,68 @@ func (c *Cache) insert(key string, res *core.Result) {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.ll.Len()
-	s.InFlight = len(c.inflight)
-	return s
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		Evictions: c.evictions.Value(),
+		Entries:   c.ll.Len(),
+		InFlight:  len(c.inflight),
+	}
+}
+
+// SetTracer attaches a tracer whose EvCache spans record the outcome of
+// every request (hit, miss, coalesced). A nil tracer (the default)
+// disables emission at zero cost. Not safe to call concurrently with Do.
+func (c *Cache) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// traceOutcome emits one cache-outcome span. Nil-safe and free when no
+// tracer is attached.
+func (c *Cache) traceOutcome(outcome string) {
+	c.tracer.Emit(obs.Span{Event: obs.EvCache, Outcome: outcome})
+}
+
+// RegisterMetrics exposes this cache instance's counters and gauges in reg
+// under the sia_cache_* names. Each cache instance can register with at
+// most one registry (a second registration of the same names fails with an
+// error wrapping obs.ErrAlreadyRegistered).
+func (c *Cache) RegisterMetrics(reg *obs.Registry) error {
+	type metric struct {
+		name, help string
+		fn         func() float64
+		gauge      bool
+	}
+	gauges := func() (entries, inflight int) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.ll.Len(), len(c.inflight)
+	}
+	metrics := []metric{
+		{"sia_cache_hits_total", "Requests answered from a stored entry.",
+			func() float64 { return float64(c.hits.Value()) }, false},
+		{"sia_cache_misses_total", "Requests that started a new CEGIS computation.",
+			func() float64 { return float64(c.misses.Value()) }, false},
+		{"sia_cache_coalesced_total", "Requests that joined an in-flight computation (singleflight savings).",
+			func() float64 { return float64(c.coalesced.Value()) }, false},
+		{"sia_cache_evictions_total", "Entries dropped by the LRU bound.",
+			func() float64 { return float64(c.evictions.Value()) }, false},
+		{"sia_cache_entries", "Current number of stored results.",
+			func() float64 { e, _ := gauges(); return float64(e) }, true},
+		{"sia_cache_inflight", "Current number of running computations.",
+			func() float64 { _, f := gauges(); return float64(f) }, true},
+	}
+	for _, m := range metrics {
+		var err error
+		if m.gauge {
+			err = reg.GaugeFunc(m.name, m.help, m.fn)
+		} else {
+			err = reg.CounterFunc(m.name, m.help, m.fn)
+		}
+		if err != nil {
+			return fmt.Errorf("cache: register %s: %w", m.name, err)
+		}
+	}
+	return nil
 }
 
 // Synthesizer couples a Cache with core.SynthesizeContext: the drop-in
@@ -234,8 +301,8 @@ func NewSynthesizer(capacity int) *Synthesizer {
 
 // Synthesize is core.SynthesizeContext memoized through the cache. cached
 // reports whether the result was served without running a CEGIS loop for
-// this call. Uncacheable requests (a caller-supplied Options.Solver or
-// Trace — see KeyFor) bypass the cache entirely.
+// this call. Uncacheable requests (a caller-supplied Options.Solver, Trace
+// or Tracer — see KeyFor) bypass the cache entirely.
 func (s *Synthesizer) Synthesize(ctx context.Context, p predicate.Predicate, cols []string, schema *predicate.Schema, opts core.Options) (res *core.Result, cached bool, err error) {
 	key, ok := KeyFor(p, cols, schema, opts)
 	if !ok {
@@ -249,3 +316,12 @@ func (s *Synthesizer) Synthesize(ctx context.Context, p predicate.Predicate, col
 
 // Stats returns the underlying cache's counters.
 func (s *Synthesizer) Stats() Stats { return s.cache.Stats() }
+
+// RegisterMetrics exposes the underlying cache's metrics in reg.
+func (s *Synthesizer) RegisterMetrics(reg *obs.Registry) error {
+	return s.cache.RegisterMetrics(reg)
+}
+
+// SetTracer attaches a tracer to the underlying cache. Not safe to call
+// concurrently with Synthesize.
+func (s *Synthesizer) SetTracer(t *obs.Tracer) { s.cache.SetTracer(t) }

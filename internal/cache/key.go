@@ -21,8 +21,8 @@ import (
 // KeyFor returns the canonical cache key for a synthesis request, or
 // ok=false when the request is uncacheable: a caller-supplied Solver
 // (whose private budgets and accumulated statistics make runs
-// non-reproducible) or a Trace hook (whose side effects must run on every
-// call) bypass the cache.
+// non-reproducible) or a Trace hook or Tracer (whose side effects must run
+// on every call) bypass the cache.
 //
 // The key is syntactic, not semantic: two predicates that are logically
 // equivalent but print differently (e.g. "a < 1 AND b < 2" vs
@@ -36,7 +36,7 @@ import (
 // contribute via their Fingerprint (defaults applied, Solver/Trace
 // excluded).
 func KeyFor(p predicate.Predicate, cols []string, schema *predicate.Schema, opts core.Options) (key string, ok bool) {
-	if opts.Solver != nil || opts.Trace != nil {
+	if opts.Solver != nil || opts.Trace != nil || opts.Tracer != nil {
 		return "", false
 	}
 	sortedCols := append([]string(nil), cols...)

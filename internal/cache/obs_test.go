@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"sia/internal/core"
+	"sia/internal/obs"
+	"sia/internal/predtest"
+)
+
+func TestRegisterMetricsExposesCounters(t *testing.T) {
+	c := New(2)
+	reg := obs.NewRegistry()
+	if err := c.RegisterMetrics(reg); err != nil {
+		t.Fatalf("RegisterMetrics: %v", err)
+	}
+	ctx := context.Background()
+	mk := func(context.Context) (*core.Result, error) { return &core.Result{}, nil }
+	if _, _, err := c.Do(ctx, "k1", mk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Do(ctx, "k1", mk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Do(ctx, "k2", mk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Do(ctx, "k3", mk); err != nil { // evicts k1 or k2
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := obs.WritePrometheus(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"sia_cache_hits_total 1",
+		"sia_cache_misses_total 3",
+		"sia_cache_coalesced_total 0",
+		"sia_cache_evictions_total 1",
+		"sia_cache_entries 2",
+		"sia_cache_inflight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The Stats view and the registry must agree.
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("Stats view disagrees: %+v", st)
+	}
+
+	// Registering the same instance twice must fail with the sentinel.
+	err := c.RegisterMetrics(reg)
+	if !errors.Is(err, obs.ErrAlreadyRegistered) {
+		t.Errorf("second registration: got %v, want ErrAlreadyRegistered", err)
+	}
+}
+
+func TestCacheTracerEmitsOutcomes(t *testing.T) {
+	c := New(4)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	c.SetTracer(tr)
+	ctx := context.Background()
+	mk := func(context.Context) (*core.Result, error) { return &core.Result{}, nil }
+	if _, _, err := c.Do(ctx, "k", mk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Do(ctx, "k", mk); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		if m["event"] != obs.EvCache {
+			t.Errorf("unexpected event %v", m["event"])
+		}
+		outcomes = append(outcomes, m["outcome"].(string))
+	}
+	if len(outcomes) != 2 || outcomes[0] != "miss" || outcomes[1] != "hit" {
+		t.Errorf("outcomes = %v, want [miss hit]", outcomes)
+	}
+}
+
+func TestKeyForTracerBypassesCache(t *testing.T) {
+	schema := intSchema("a", "b")
+	p := predtest.MustParse("a - b < 20 AND b < 0", schema)
+	cols := []string{"a"}
+	var tr *obs.Tracer
+	if _, ok := KeyFor(p, cols, schema, core.Options{Tracer: tr}); !ok {
+		t.Error("nil Tracer (tracing off) must stay cacheable")
+	}
+	var buf bytes.Buffer
+	live := obs.NewTracer(&buf)
+	defer live.Close()
+	if _, ok := KeyFor(p, cols, schema, core.Options{Tracer: live}); ok {
+		t.Error("a live Tracer must make the request uncacheable")
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"time"
+
+	"sia/internal/obs"
+)
+
+// Process-wide synthesis metrics in the Default registry, registered at
+// init so every name is scrapeable before the first run.
+var (
+	mRuns       = obs.Default().Counter("sia_synthesis_runs_total", "Synthesis runs started.")
+	mErrors     = obs.Default().Counter("sia_synthesis_errors_total", "Synthesis runs that returned an error.")
+	mIterations = obs.Default().Counter("sia_synthesis_iterations_total", "CEGIS learning-loop iterations executed.")
+	mDuration   = obs.Default().Histogram("sia_synthesis_duration_seconds",
+		"Wall time of whole synthesis runs.", obs.DurationBuckets())
+
+	mGaveUp = func() map[GiveUpReason]*obs.Counter {
+		m := map[GiveUpReason]*obs.Counter{}
+		for _, r := range []GiveUpReason{
+			ReasonNoUnsatTuples, ReasonMaxIterations, ReasonNotSeparable,
+			ReasonSolverBudget, ReasonNullCounterexamples, ReasonTimeout,
+		} {
+			m[r] = obs.Default().Counter("sia_synthesis_gaveup_total",
+				"Synthesis runs that stopped before proving optimality, by reason.",
+				obs.Label{Key: "reason", Value: string(r)})
+		}
+		return m
+	}()
+
+	mPhaseSeconds = func() map[string]*obs.Histogram {
+		m := map[string]*obs.Histogram{}
+		for _, p := range []string{"generation", "learning", "validation"} {
+			m[p] = obs.Default().Histogram("sia_synthesis_phase_seconds",
+				"Per-run synthesis time by phase (Table 3's categories).",
+				obs.DurationBuckets(), obs.Label{Key: "phase", Value: p})
+		}
+		return m
+	}()
+)
+
+// recordRun publishes one finished run's metrics: duration, iteration
+// count, the Table-3 phase breakdown, and the give-up reason (if any).
+func recordRun(res *Result, dur time.Duration, err error) {
+	mDuration.Observe(dur.Seconds())
+	if err != nil {
+		mErrors.Inc()
+		return
+	}
+	if res == nil {
+		return
+	}
+	mIterations.Add(uint64(res.Iterations))
+	if c, ok := mGaveUp[res.GaveUp]; ok {
+		c.Inc()
+	}
+	mPhaseSeconds["generation"].Observe(res.Timing.Generation.Seconds())
+	mPhaseSeconds["learning"].Observe(res.Timing.Learning.Seconds())
+	mPhaseSeconds["validation"].Observe(res.Timing.Validation.Seconds())
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"sia/internal/obs"
 	"sia/internal/smt"
 )
 
@@ -65,6 +66,12 @@ type Options struct {
 	// the candidate and the verification verdict — for debugging and for
 	// the experiment harness's convergence diagnostics.
 	Trace func(iteration int, candidate fmt.Stringer, valid bool)
+	// Tracer, when set, records structured JSONL spans for every CEGIS
+	// event (iterations, verify verdicts, counter-example batches, the
+	// final outcome). A nil Tracer is free: the hot path performs no
+	// allocations and no work. Like Solver and Trace, a non-nil Tracer
+	// makes a run uncacheable (cache.KeyFor detects it).
+	Tracer *obs.Tracer
 }
 
 // normalized fills the numeric defaults without touching the solver. It is
@@ -146,8 +153,8 @@ func (o Options) Validate() error {
 // Fingerprint returns a canonical string identifying every option that can
 // influence a synthesis result, with defaults applied — two Options with
 // equal fingerprints produce identical Results for the same (predicate,
-// cols, schema) input. Solver and Trace are deliberately excluded: a
-// caller-supplied solver or trace hook makes a run uncacheable, which
+// cols, schema) input. Solver, Trace and Tracer are deliberately excluded:
+// a caller-supplied solver or trace hook makes a run uncacheable, which
 // cache.KeyFor detects separately.
 func (o Options) Fingerprint() string {
 	n := o.normalized()

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"sia/internal/obs"
 	"sia/internal/predicate"
 	"sia/internal/smt"
 )
@@ -101,6 +103,20 @@ func SynthesizeContext(ctx context.Context, p predicate.Predicate, cols []string
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	mRuns.Inc()
+	start := time.Now()
+	if opts.Tracer.Enabled() {
+		opts.Tracer.Emit(obs.Span{Event: obs.EvSynthesisStart, Pred: p.String(), Cols: strings.Join(cols, ",")})
+	}
+	res, err := synthesizeContext(ctx, p, cols, schema, opts)
+	recordRun(res, time.Since(start), err)
+	traceDone(opts.Tracer, res, err)
+	return res, err
+}
+
+// synthesizeContext is SynthesizeContext after option validation and
+// instrumentation: the actual Alg. 1 driver.
+func synthesizeContext(ctx context.Context, p predicate.Predicate, cols []string, schema *predicate.Schema, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("%w: no target columns given", ErrInvalidOptions)
@@ -159,6 +175,40 @@ func SynthesizeContext(ctx context.Context, p predicate.Predicate, cols []string
 	return res, nil
 }
 
+// verdictString renders a verification verdict without allocating.
+func verdictString(valid bool) string {
+	if valid {
+		return "valid"
+	}
+	return "invalid"
+}
+
+// traceDone emits the synthesis_done span summarizing a finished run.
+func traceDone(t *obs.Tracer, res *Result, err error) {
+	if !t.Enabled() {
+		return
+	}
+	s := obs.Span{Event: obs.EvSynthesisDone}
+	if err != nil {
+		s.Err = err.Error()
+		t.Emit(s)
+		return
+	}
+	s.Iter = res.Iterations
+	s.TrueSamples = res.TrueSamples
+	s.FalseSamples = res.FalseSamples
+	s.Verdict = verdictString(res.Valid)
+	s.Optimal = res.Optimal
+	s.GaveUp = string(res.GaveUp)
+	s.Gen = res.Timing.Generation
+	s.Learn = res.Timing.Learning
+	s.Validate = res.Timing.Validation
+	if res.Predicate != nil {
+		s.Pred = res.Predicate.String()
+	}
+	t.Emit(s)
+}
+
 type synthesisLoop struct {
 	ctx     context.Context
 	opts    Options
@@ -169,6 +219,32 @@ type synthesisLoop struct {
 	res     *Result
 
 	ts, fs []Sample
+}
+
+// The trace helpers below are nil-safe and allocation-free when tracing is
+// off: they build the span from values already at hand and never format
+// strings. Predicate rendering stays behind Enabled() at the call sites.
+
+// traceSamples records an initial sample-generation batch.
+func (l *synthesisLoop) traceSamples(kind string, count int, exhausted bool, dur time.Duration) {
+	l.opts.Tracer.Emit(obs.Span{Event: obs.EvSamples, Kind: kind, Count: count, Exhausted: exhausted, Dur: dur})
+}
+
+// traceIteration records one SVM fit: training-set sizes and plane count.
+func (l *synthesisLoop) traceIteration(iter, planes int, dur time.Duration) {
+	l.opts.Tracer.Emit(obs.Span{Event: obs.EvIteration, Iter: iter,
+		TrueSamples: len(l.ts), FalseSamples: len(l.fs), Planes: planes, Dur: dur})
+}
+
+// traceVerify records a verification verdict for one candidate.
+func (l *synthesisLoop) traceVerify(iter int, valid bool, dur time.Duration) {
+	l.opts.Tracer.Emit(obs.Span{Event: obs.EvVerify, Iter: iter, Verdict: verdictString(valid), Dur: dur})
+}
+
+// traceCounterexamples records a counter-example batch of the given kind.
+func (l *synthesisLoop) traceCounterexamples(iter int, kind string, count int, exhausted bool, dur time.Duration) {
+	l.opts.Tracer.Emit(obs.Span{Event: obs.EvCounterexamples, Iter: iter,
+		Kind: kind, Count: count, Exhausted: exhausted, Dur: dur})
 }
 
 func (l *synthesisLoop) run(p predicate.Predicate) error {
@@ -190,10 +266,12 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 	// Initial samples (§5.3).
 	start = time.Now()
 	ts, tExhausted, err := l.sampler.trueSamples(l.ctx, l.opts.InitialTrue, nil)
-	res.Timing.Generation += time.Since(start)
+	dur := time.Since(start)
+	res.Timing.Generation += dur
 	if err != nil {
 		return l.giveUp(err)
 	}
+	l.traceSamples("true", len(ts), tExhausted, dur)
 	if tExhausted {
 		// The satisfaction tuples over cols form a finite set that has
 		// been fully enumerated: the strongest valid predicate is the
@@ -207,10 +285,12 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 
 	start = time.Now()
 	fs, fExhausted, err := l.sampler.falseSamples(l.ctx, l.opts.InitialFalse, nil)
-	res.Timing.Generation += time.Since(start)
+	dur = time.Since(start)
+	res.Timing.Generation += dur
 	if err != nil {
 		return l.giveUp(err)
 	}
+	l.traceSamples("false", len(fs), fExhausted, dur)
 	if fExhausted {
 		// All unsatisfaction tuples are known: their complement is
 		// exactly the set of feasible restrictions, i.e. the optimal
@@ -297,7 +377,8 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 
 		start = time.Now()
 		lr, err := l.learner.Learn(l.ts, l.fs)
-		res.Timing.Learning += time.Since(start)
+		dur = time.Since(start)
+		res.Timing.Learning += dur
 		if errors.Is(err, errNotSeparable) {
 			finish(ReasonNotSeparable)
 			return nil
@@ -305,14 +386,17 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 		if err != nil {
 			return err
 		}
+		l.traceIteration(iter+1, len(lr.planes), dur)
 		candidate := lr.predicate(l.sampler.space, l.schema)
 
 		start = time.Now()
 		valid, err := ver.Verify(l.ctx, candidate)
-		res.Timing.Validation += time.Since(start)
+		dur = time.Since(start)
+		res.Timing.Validation += dur
 		if err != nil {
 			return l.giveUpWith(err, finish)
 		}
+		l.traceVerify(iter+1, valid, dur)
 		if l.opts.Trace != nil {
 			l.opts.Trace(iter, candidate, valid)
 		}
@@ -355,10 +439,12 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 
 			start = time.Now()
 			fs1, exhausted, err := l.sampler.counterFalse(l.ctx, validFormula(), l.opts.SamplesPerIteration, l.fs)
-			res.Timing.Generation += time.Since(start)
+			dur = time.Since(start)
+			res.Timing.Generation += dur
 			if err != nil {
 				return l.giveUpWith(err, finish)
 			}
+			l.traceCounterexamples(iter+1, "false", len(fs1), exhausted, dur)
 			if len(fs1) == 0 && exhausted {
 				// No unsatisfaction tuple is accepted: optimal (Lemma 4).
 				prune()
@@ -372,10 +458,12 @@ func (l *synthesisLoop) run(p predicate.Predicate) error {
 			start = time.Now()
 			l.learner.noteInvalid(l.ctx, lr)
 			ts1, err := l.sampler.counterTrue(l.ctx, candFormula, l.opts.SamplesPerIteration, l.ts)
-			res.Timing.Generation += time.Since(start)
+			dur = time.Since(start)
+			res.Timing.Generation += dur
 			if err != nil {
 				return l.giveUpWith(err, finish)
 			}
+			l.traceCounterexamples(iter+1, "true", len(ts1), false, dur)
 			if len(ts1) == 0 {
 				// Validation failed, yet no concrete (NULL-free)
 				// counter-example exists: the candidate only misbehaves

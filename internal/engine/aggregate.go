@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sia/internal/predicate"
 )
@@ -48,6 +49,7 @@ func Aggregate(t *Table, groupBy []string, aggs []AggSpec) (*Table, error) {
 // form their own group (all NULLs together, as GROUP BY requires) and are
 // emitted as NULL key values.
 func AggregatePar(t *Table, groupBy []string, aggs []AggSpec, par int) (*Table, error) {
+	defer observeOp(opAggregate, time.Now())
 	for _, g := range groupBy {
 		c, ok := t.schema.Lookup(g)
 		if !ok || !c.Type.Integral() {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"sia/internal/predicate"
 )
@@ -225,8 +226,11 @@ func Filter(t *Table, p predicate.Predicate) *Table {
 // gathered column-wise into disjoint ranges of a dense copy. Row order is
 // preserved, so the result is byte-identical to the serial engine.
 func FilterPar(t *Table, p predicate.Predicate, par int) *Table {
+	defer observeOp(opFilter, time.Now())
 	bitmap := SelectionPar(t, p, par)
 	rows := selectedRows(bitmap, par)
+	mRowsScanned.Add(uint64(t.nRows))
+	mRowsKept.Add(uint64(len(rows)))
 	out := NewTable(t.Name, t.schema)
 	out.nRows = len(rows)
 	gatherInto(out, t, t.order, rows, par)
@@ -361,6 +365,7 @@ func HashJoinWhere(l, r *Table, lkey, rkey string, lpred, rpred predicate.Predic
 // are stitched back in morsel order — exactly the serial probe order — so
 // the output is byte-identical to the serial engine at any worker count.
 func HashJoinWherePar(l, r *Table, lkey, rkey string, lpred, rpred predicate.Predicate, par int) (*Table, JoinStats, error) {
+	defer observeOp(opJoin, time.Now())
 	var stats JoinStats
 	lc, ok := l.schema.Lookup(lkey)
 	if !ok || !lc.Type.Integral() {
@@ -510,6 +515,7 @@ func Project(t *Table, cols []string) (*Table, error) {
 // to copy each kept column's backing arrays, morsel-parallel, instead of
 // materializing rows one at a time.
 func ProjectPar(t *Table, cols []string, par int) (*Table, error) {
+	defer observeOp(opProject, time.Now())
 	var sub []predicate.Column
 	for _, name := range cols {
 		c, ok := t.schema.Lookup(name)

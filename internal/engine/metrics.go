@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"time"
+
+	"sia/internal/obs"
+)
+
+// Process-wide engine metrics in the Default registry. The morsel counter
+// is the morsel-driven scheduler's unit of work (§2 of the morsel-driven
+// parallelism design in parallel.go); the row counters make filter
+// selectivity — the quantity Sia's learned predicates exist to improve —
+// directly observable as kept/scanned.
+var (
+	mMorselsScheduled = obs.Default().Counter("sia_engine_morsels_scheduled_total",
+		"Morsels dispatched by the parallel scheduler.")
+	mRowsScanned = obs.Default().Counter("sia_engine_rows_scanned_total",
+		"Rows evaluated by filter operators.")
+	mRowsKept = obs.Default().Counter("sia_engine_rows_kept_total",
+		"Rows accepted by filter operators.")
+
+	mOperatorSeconds = func() map[string]*obs.Histogram {
+		m := map[string]*obs.Histogram{}
+		for _, op := range []string{opFilter, opJoin, opAggregate, opProject} {
+			m[op] = obs.Default().Histogram("sia_engine_operator_seconds",
+				"Wall time of engine operator invocations, by operator.",
+				obs.DurationBuckets(), obs.Label{Key: "op", Value: op})
+		}
+		return m
+	}()
+)
+
+// Operator names for the sia_engine_operator_seconds histogram.
+const (
+	opFilter    = "filter"
+	opJoin      = "join"
+	opAggregate = "aggregate"
+	opProject   = "project"
+)
+
+// observeOp records one operator invocation's wall time; used as
+// `defer observeOp(op, time.Now())`.
+func observeOp(op string, start time.Time) {
+	mOperatorSeconds[op].Observe(time.Since(start).Seconds())
+}

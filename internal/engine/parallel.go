@@ -54,6 +54,7 @@ func morselCount(n int) int { return (n + morselRows - 1) / morselRows }
 func forEachMorsel(n, par int, fn func(worker, morsel, lo, hi int)) int {
 	par = normalizeParallelism(par, n)
 	morsels := morselCount(n)
+	mMorselsScheduled.Add(uint64(morsels))
 	if par == 1 {
 		for m := 0; m < morsels; m++ {
 			lo, hi := morselBounds(m, n)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"sia/internal/core"
+	"sia/internal/obs"
 	"sia/internal/plan"
 	"sia/internal/predicate"
 	"sia/internal/smt"
@@ -50,6 +51,10 @@ type Config struct {
 	// (Fig. 9, Table 4, Motivating). Non-positive means
 	// engine.DefaultParallelism; results are identical at any setting.
 	Parallelism int
+	// Tracer, when non-nil, records every CEGIS loop of the synthesis
+	// experiments as JSONL spans (see internal/obs). Tracing makes runs
+	// uncacheable, so Fig9's synthesis memoization is bypassed.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -195,7 +200,9 @@ func SynthesisSweep(cfg Config) ([]RunRecord, error) {
 						TCValid:  tc,
 					}
 					if relevant {
-						res, err := core.Synthesize(tk.query.Pred, tk.cols, schema, optionsFor(v, cfg.MaxIterations))
+						o := optionsFor(v, cfg.MaxIterations)
+						o.Tracer = cfg.Tracer
+						res, err := core.Synthesize(tk.query.Pred, tk.cols, schema, o)
 						if err == nil {
 							rec.Result = res
 						}

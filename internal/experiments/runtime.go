@@ -83,6 +83,7 @@ func Fig9(cfg Config) ([]RuntimeRecord, error) {
 			defer func() { <-sem }()
 			opts := core.PresetSIA()
 			opts.MaxIterations = cfg.MaxIterations
+			opts.Tracer = cfg.Tracer // a tracer bypasses fig9Synth's memoization
 			res, _, err := fig9Synth.Synthesize(context.Background(), q.Pred, cols, schema, opts)
 			if err != nil {
 				rewrites[i] = rewriteInfo{err: err}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sync"
+)
+
+// snapshot returns the registry's metrics as a JSON-marshalable map:
+// scalar series as numbers, histograms as {count, sum, buckets} objects.
+// Series keys carry their labels in exposition syntax, so
+// `sia_engine_operator_seconds{op="filter"}` is one key.
+func (r *Registry) snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			key := f.name + renderLabels(s.labels, "", "")
+			if f.kind != kindHistogram {
+				out[key] = s.value()
+				continue
+			}
+			snap := s.hist.Snapshot()
+			buckets := make(map[string]uint64, len(snap.Counts))
+			cum := uint64(0)
+			for i, b := range snap.Bounds {
+				cum += snap.Counts[i]
+				buckets[formatValue(b)] = cum
+			}
+			cum += snap.Counts[len(snap.Counts)-1]
+			buckets["+Inf"] = cum
+			out[key] = map[string]any{
+				"count":   snap.Count,
+				"sum":     snap.Sum,
+				"buckets": buckets,
+			}
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the union of the given registries' metrics as one JSON
+// object (the expvar-style export). Later registries win on (unexpected)
+// key collisions.
+func WriteJSON(w io.Writer, regs ...*Registry) error {
+	merged := make(map[string]any)
+	for _, r := range regs {
+		for k, v := range r.snapshot() {
+			merged[k] = v
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(merged)
+}
+
+// ExpvarVar adapts the registry to the expvar.Var interface, for callers
+// that integrate with the standard /debug/vars page.
+func (r *Registry) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any { return r.snapshot() })
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the Default registry under the expvar name
+// "sia_metrics", once per process (expvar rejects duplicate names).
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("sia_metrics", Default().ExpvarVar())
+	})
+}

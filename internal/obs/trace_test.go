@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerEmitsParseableJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit(Span{Event: EvSynthesisStart, Pred: `x > "quoted"` + "\nline2", Cols: "a,b"})
+	tr.Emit(Span{Event: EvIteration, Iter: 1, TrueSamples: 10, FalseSamples: 12, Planes: 3, Dur: 1500 * time.Microsecond})
+	tr.Emit(Span{Event: EvVerify, Iter: 1, Verdict: "invalid"})
+	tr.Emit(Span{Event: EvSynthesisDone, Iter: 1, Verdict: "valid", Optimal: true,
+		Gen: time.Millisecond, Learn: 2 * time.Millisecond, Validate: 3 * time.Millisecond})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", len(lines)+1, err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if lines[0]["event"] != EvSynthesisStart || lines[0]["pred"] != `x > "quoted"`+"\nline2" {
+		t.Errorf("start span wrong: %v", lines[0])
+	}
+	if lines[1]["iter"].(float64) != 1 || lines[1]["planes"].(float64) != 3 || lines[1]["dur_us"].(float64) != 1500 {
+		t.Errorf("iteration span wrong: %v", lines[1])
+	}
+	if lines[3]["optimal"] != true || lines[3]["validate_us"].(float64) != 3000 {
+		t.Errorf("done span wrong: %v", lines[3])
+	}
+
+	// seq strictly increasing, t_us monotone non-decreasing.
+	for i := 1; i < len(lines); i++ {
+		if lines[i]["seq"].(float64) != lines[i-1]["seq"].(float64)+1 {
+			t.Errorf("seq not sequential at line %d", i)
+		}
+		if lines[i]["t_us"].(float64) < lines[i-1]["t_us"].(float64) {
+			t.Errorf("t_us not monotone at line %d", i)
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Emit(Span{Event: EvIteration, Iter: i + 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("interleaved write corrupted line %d: %v", n+1, err)
+		}
+		n++
+	}
+	if n != workers*perWorker {
+		t.Errorf("got %d lines, want %d", n, workers*perWorker)
+	}
+}
+
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Emit(Span{Event: EvIteration, Iter: 3, TrueSamples: 10, Verdict: "valid"})
+	})
+	if allocs != 0 {
+		t.Errorf("nil Emit allocates %v per run, want 0", allocs)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Errorf("nil Flush: %v", err)
+	}
+}
+
+func TestEnabledTracerSteadyStateZeroAlloc(t *testing.T) {
+	// After warm-up the append buffer is reused, so even enabled emits
+	// should not allocate.
+	tr := NewTracer(&countingWriter{})
+	defer tr.Close()
+	tr.Emit(Span{Event: EvIteration, Iter: 1, Pred: strings.Repeat("x", 400)})
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Emit(Span{Event: EvIteration, Iter: 2, TrueSamples: 11, FalseSamples: 13})
+	})
+	if allocs != 0 {
+		t.Errorf("enabled Emit allocates %v per run after warm-up, want 0", allocs)
+	}
+}
+
+// countingWriter discards writes without growing memory.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+func TestTracerCloseStopsFlusher(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var bufs [8]bytes.Buffer
+	for i := range bufs {
+		tr := NewTracer(&bufs[i])
+		tr.Emit(Span{Event: EvCache, Outcome: "hit"})
+		if err := tr.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	// Give the runtime a moment to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestTracerBackgroundFlush(t *testing.T) {
+	var mu sync.Mutex
+	var flushed bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return flushed.Write(p)
+	})
+	tr := NewTracer(w)
+	defer tr.Close()
+	tr.Emit(Span{Event: EvCache, Outcome: "miss"})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := flushed.Len()
+		mu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Error("background flusher never flushed the buffered span")
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestAppendJSONStringEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", `"plain"`},
+		{"a\"b", `"a\"b"`},
+		{`back\slash`, `"back\\slash"`},
+		{"nl\ntab\t", `"nl\ntab\t"`},
+		{"ctl\x01", `"ctl` + "\\" + `u0001"`},
+		{"héllo ☃", "\"héllo ☃\""},
+		{"bad" + "\xff", `"bad` + "\\" + `ufffd"`},
+	}
+	for _, tc := range cases {
+		got := string(appendJSONString(nil, tc.in))
+		if got != tc.want {
+			t.Errorf("appendJSONString(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+		if !json.Valid([]byte(got)) {
+			t.Errorf("appendJSONString(%q) produced invalid JSON: %s", tc.in, got)
+		}
+		var back string
+		if err := json.Unmarshal([]byte(got), &back); err != nil {
+			t.Errorf("appendJSONString(%q) does not round-trip: %v", tc.in, err)
+		}
+	}
+}

@@ -28,7 +28,7 @@ func (s *Solver) EnumerateModels(f Formula, vars []Var, limit int, emit func(Mod
 // EnumerateModelsCtx is EnumerateModels honoring ctx: cancellation surfaces
 // as ErrInterrupted within one elimination step.
 func (s *Solver) EnumerateModelsCtx(ctx context.Context, f Formula, vars []Var, limit int, emit func(Model) bool) error {
-	defer s.arm(ctx)()
+	defer s.arm(ctx, opEnumerate)()
 	qf, err := s.QE(f)
 	if err != nil {
 		return err

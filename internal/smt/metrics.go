@@ -1,0 +1,32 @@
+package smt
+
+import "sia/internal/obs"
+
+// Package-level metrics in the Default registry, mirroring the per-solver
+// Stats struct as process-wide totals. Registered at init so every metric
+// name is present in a /metrics scrape even before the first query.
+var (
+	mSatQueries   = obs.Default().Counter("sia_smt_sat_queries_total", "Satisfiability queries answered (including internal ones).")
+	mModelQueries = obs.Default().Counter("sia_smt_model_queries_total", "Model-extraction queries answered.")
+	mEliminations = obs.Default().Counter("sia_smt_eliminations_total", "Quantifier eliminations performed.")
+	mSimplexCuts  = obs.Default().Counter("sia_smt_simplex_cuts_total", "UNSAT answers settled by the rational simplex fast path.")
+
+	mQuerySeconds = func() map[string]*obs.Histogram {
+		h := map[string]*obs.Histogram{}
+		for _, kind := range []string{opQE, opSat, opModel, opEnumerate} {
+			h[kind] = obs.Default().Histogram("sia_smt_query_seconds",
+				"Wall time of outermost public solver calls, by query kind.",
+				obs.DurationBuckets(), obs.Label{Key: "kind", Value: kind})
+		}
+		return h
+	}()
+)
+
+// Query kinds for the sia_smt_query_seconds histogram. A nested public call
+// (Model calling QE) is charged to the outermost kind only.
+const (
+	opQE        = "qe"
+	opSat       = "sat"
+	opModel     = "model"
+	opEnumerate = "enumerate"
+)

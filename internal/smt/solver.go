@@ -63,19 +63,22 @@ type Solver struct {
 
 // arm binds the caller's context and starts the timeout clock for a public
 // entry point. Nested public calls (e.g. Model calling QE) keep the
-// outermost context and deadline. The returned func disarms the solver; it
+// outermost context, deadline and query kind. The returned func disarms the
+// solver and records the call's wall time under sia_smt_query_seconds; it
 // must be deferred by every public entry point.
-func (s *Solver) arm(ctx context.Context) func() {
+func (s *Solver) arm(ctx context.Context, kind string) func() {
 	if s.ctx != nil {
 		return func() {}
 	}
 	s.ctx = ctx
+	start := time.Now()
 	if s.Timeout > 0 {
-		s.deadline = time.Now().Add(s.Timeout)
+		s.deadline = start.Add(s.Timeout)
 	}
 	return func() {
 		s.ctx = nil
 		s.deadline = time.Time{}
+		mQuerySeconds[kind].Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -133,7 +136,7 @@ func (s *Solver) QE(f Formula) (Formula, error) {
 // QECtx is QE honoring ctx: cancellation surfaces as ErrInterrupted within
 // one elimination step.
 func (s *Solver) QECtx(ctx context.Context, f Formula) (Formula, error) {
-	defer s.arm(ctx)()
+	defer s.arm(ctx, opQE)()
 	if err := s.checkStop(); err != nil {
 		return nil, err
 	}
@@ -200,6 +203,7 @@ func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
 		return f, nil
 	}
 	s.Stats.Eliminations++
+	mEliminations.Inc()
 	if or, ok := f.(*Or); ok {
 		fs := make([]Formula, 0, len(or.Fs))
 		for _, g := range or.Fs {
@@ -229,18 +233,20 @@ func (s *Solver) Satisfiable(f Formula) (bool, error) {
 // SatisfiableCtx is Satisfiable honoring ctx: cancellation surfaces as
 // ErrInterrupted within one elimination step.
 func (s *Solver) SatisfiableCtx(ctx context.Context, f Formula) (bool, error) {
-	defer s.arm(ctx)()
+	defer s.arm(ctx, opSat)()
 	// A dead context fails fast even when a shortcut (the simplex cut
 	// below) could still produce an answer: cancelled means cancelled.
 	if err := s.checkStop(); err != nil {
 		return false, err
 	}
 	s.Stats.SatQueries++
+	mSatQueries.Inc()
 	f = Simplify(NNF(f))
 	// Fast path: a conjunction of linear atoms that is already infeasible
 	// over the rationals needs no quantifier elimination.
 	if simplexCheck(f) == simplexInfeasible {
 		s.Stats.SimplexCuts++
+		mSimplexCuts.Inc()
 		return false, nil
 	}
 	closed := f
@@ -290,11 +296,12 @@ func (s *Solver) Model(f Formula) (Model, error) {
 // ModelCtx is Model honoring ctx: cancellation surfaces as ErrInterrupted
 // within one elimination step.
 func (s *Solver) ModelCtx(ctx context.Context, f Formula) (Model, error) {
-	defer s.arm(ctx)()
+	defer s.arm(ctx, opModel)()
 	if err := s.checkStop(); err != nil {
 		return nil, err
 	}
 	s.Stats.ModelQueries++
+	mModelQueries.Inc()
 	vars := FreeVars(f)
 	qf, err := s.QE(f)
 	if err != nil {
