@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine race-serve lint lint-json lint-sarif fuzz-smoke smoke-siad check clean
+.PHONY: build vet test race race-engine race-serve lint lint-json lint-sarif lint-alloc lint-self memo-report fuzz-smoke smoke-siad check clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,21 @@ lint-json:
 lint-sarif:
 	$(GO) run ./cmd/sialint -sarif ./...
 
+# Interprocedural budgets: every heap allocation reachable from a
+# // sia:hotpath entry must be justified, and every // sia:memoize entry
+# must certify as memoization-pure.
+lint-alloc:
+	$(GO) run ./cmd/sialint -enable alloc-budget,memo-safe ./...
+
+# Self-hosting: the analyzers must hold their own code to the same
+# standard they impose on the rest of the repo.
+lint-self:
+	$(GO) run ./cmd/sialint ./internal/analysis/... ./cmd/sialint/...
+
+# Machine-readable purity certificates for the // sia:memoize entries.
+memo-report:
+	$(GO) run ./cmd/sialint -enable memo-safe -memo-report memo-report.json ./...
+
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
 
@@ -44,7 +59,7 @@ smoke-siad:
 	./scripts/smoke-siad.sh
 
 # check is the full CI gate: everything must pass before merging.
-check: build vet race race-engine race-serve lint smoke-siad
+check: build vet race race-engine race-serve lint lint-alloc lint-self smoke-siad
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,12 @@
 //	lock-balance       every Lock is released on every path to return; no
 //	                   double-lock (forward dataflow)
 //	wg-balance         wg.Add precedes the go statement, never inside it
+//	alloc-budget       code reachable from // sia:hotpath entries does not
+//	                   allocate unless the site carries an // alloc: reason
+//	                   (interprocedural, over the call graph)
+//	memo-safe          // sia:memoize functions are memoization-pure: no
+//	                   global writes, argument mutation, nondeterminism, or
+//	                   map-iteration-order leaks (interprocedural)
 //
 // Usage:
 //
@@ -25,7 +31,8 @@
 // assumed. Findings print as file:line:col: [analyzer] message — or as a
 // JSON document (-json) or SARIF 2.1.0 log (-sarif) for machine consumers.
 // The exit status is 1 when any finding is reported and 2 on a load or
-// usage error.
+// usage error. -memo-report <file> additionally writes the machine-readable
+// memo-safe certification report consumed by the QE subproblem cache.
 package main
 
 import (
@@ -54,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit findings as a JSON document on stdout")
 		sarifOut = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
 		parallel = fs.Int("parallel", 0, "package-level worker count (0 = GOMAXPROCS, 1 = serial)")
+		memoOut  = fs.String("memo-report", "", "write the memo-safe certification report (JSON) to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: sialint [flags] [packages]\n")
@@ -99,6 +107,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cwd, _ := os.Getwd()
+	if *memoOut != "" {
+		f, err := os.Create(*memoOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "sialint: %v\n", err)
+			return 2
+		}
+		werr := analysis.WriteMemoReport(f, pkgs, cwd)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "sialint: memo-report: %v\n", werr)
+			return 2
+		}
+	}
 	switch {
 	case *jsonOut:
 		if err := analysis.WriteJSON(stdout, findings, cwd); err != nil {

@@ -14,7 +14,7 @@ func TestListIncludesNewAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errs); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errs.String())
 	}
-	for _, name := range []string{"cancel-poll", "err-wrap", "lock-balance", "wg-balance"} {
+	for _, name := range []string{"cancel-poll", "err-wrap", "lock-balance", "wg-balance", "alloc-budget", "memo-safe"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -35,6 +35,49 @@ func TestJSONAndSARIFExclusive(t *testing.T) {
 	var out, errs bytes.Buffer
 	if code := run([]string{"-json", "-sarif"}, &out, &errs); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestMemoReportFlag runs the CLI over the memo-safe bad fixture and checks
+// -memo-report writes the certification document next to the findings.
+func TestMemoReportFlag(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture := filepath.Join("..", "..", "internal", "analysis", "testdata", "memosafe_bad")
+	if err := os.Chdir(fixture); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	report := filepath.Join(t.TempDir(), "memo-report.json")
+	var out, errs bytes.Buffer
+	code := run([]string{"-enable", "memo-safe", "-memo-report", report, "./..."}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (fixture has violations)\nstderr: %s", code, errs.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("memo report not written: %v", err)
+	}
+	var doc struct {
+		Tool    string `json:"tool"`
+		Entries []struct {
+			Function  string `json:"function"`
+			Certified bool   `json:"certified"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.Tool != "sialint" || len(doc.Entries) != 5 {
+		t.Fatalf("report = %+v", doc)
+	}
+	for _, e := range doc.Entries {
+		if e.Certified {
+			t.Errorf("%s certified despite violations", e.Function)
+		}
 	}
 }
 

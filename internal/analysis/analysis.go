@@ -133,8 +133,18 @@ type Pass struct {
 	Cfg      *Config
 	Pkg      *Package
 	All      []*Package
+	Shared   *Shared // per-run cache of whole-program state (may be nil)
 	analyzer string
 	sink     *[]Finding
+}
+
+// Program returns the per-run interprocedural call graph, building it on
+// first use. Passes constructed without a Shared (tests) get a private one.
+func (p *Pass) Program() *Program {
+	if p.Shared == nil {
+		p.Shared = &Shared{}
+	}
+	return p.Shared.ProgramFor(p.All)
 }
 
 // Reportf records a finding at pos.
@@ -158,6 +168,8 @@ func Analyzers(cfg *Config) []*Analyzer {
 		ErrWrap(cfg),
 		LockBalance(cfg),
 		WgBalance(cfg),
+		AllocBudget(cfg),
+		MemoSafe(cfg),
 	}
 }
 
@@ -165,9 +177,10 @@ func Analyzers(cfg *Config) []*Analyzer {
 // sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Finding {
 	var findings []Finding
+	shared := &Shared{}
 	for _, a := range analyzers {
 		for _, pkg := range pkgs {
-			pass := &Pass{Cfg: cfg, Pkg: pkg, All: pkgs, analyzer: a.Name, sink: &findings}
+			pass := &Pass{Cfg: cfg, Pkg: pkg, All: pkgs, Shared: shared, analyzer: a.Name, sink: &findings}
 			a.Run(pass)
 		}
 	}
@@ -187,6 +200,7 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, cfg *Config, workers in
 	}
 	perPkg := make([][]Finding, len(pkgs))
 	sem := make(chan struct{}, workers)
+	shared := &Shared{}
 	var wg sync.WaitGroup
 	for i, pkg := range pkgs {
 		wg.Add(1)
@@ -196,7 +210,7 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, cfg *Config, workers in
 			defer func() { <-sem }()
 			var local []Finding
 			for _, a := range analyzers {
-				pass := &Pass{Cfg: cfg, Pkg: pkg, All: pkgs, analyzer: a.Name, sink: &local}
+				pass := &Pass{Cfg: cfg, Pkg: pkg, All: pkgs, Shared: shared, analyzer: a.Name, sink: &local}
 				a.Run(pass)
 			}
 			perPkg[i] = local
@@ -211,7 +225,12 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, cfg *Config, workers in
 	return findings
 }
 
-// sortFindings orders findings by file, line, column, then analyzer name.
+// sortFindings orders findings by file, line, column, analyzer name, and
+// finally message. The full key makes rendered output byte-identical across
+// Run, RunParallel, and repeated invocations: an analyzer may report several
+// findings at one position (e.g. alloc-budget for distinct hot roots), and
+// without the message tiebreaker their relative order would depend on
+// goroutine scheduling.
 func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -224,7 +243,10 @@ func sortFindings(findings []Finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
@@ -282,6 +304,36 @@ func (pkg *Package) commentedWith(pos token.Pos, marker string) bool {
 		}
 	}
 	return false
+}
+
+// justification is commentedWith plus the text after the marker: it returns
+// the justification written on the line of pos (or the comment block ending
+// directly above it) and whether one was found.
+func (pkg *Package) justification(pos token.Pos, marker string) (string, bool) {
+	file := pkg.fileAt(pos)
+	if file == nil {
+		return "", false
+	}
+	line := pkg.Fset.Position(pos).Line
+	for _, grp := range file.Comments {
+		reason, marked := "", false
+		for i, c := range grp.List {
+			if idx := strings.Index(c.Text, marker); idx >= 0 {
+				marked = true
+				reason = joinReason(grp.List, i, strings.TrimSpace(c.Text[idx+len(marker):]))
+				break
+			}
+		}
+		if !marked {
+			continue
+		}
+		start := pkg.Fset.Position(grp.Pos()).Line
+		end := pkg.Fset.Position(grp.End()).Line
+		if (start <= line && line <= end) || end == line-1 {
+			return reason, true
+		}
+	}
+	return "", false
 }
 
 // fileAt returns the package file whose range covers pos.

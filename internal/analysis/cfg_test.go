@@ -307,6 +307,123 @@ b3(if.done) -> b4
 b4(exit) ->`)
 }
 
+// TestCFGDeferInLoop pins that a defer inside a loop body stays in the
+// body block — one registration per iteration — and does not disturb the
+// loop's edge structure.
+func TestCFGDeferInLoop(t *testing.T) {
+	g := buildCFG(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		defer done(i)
+	}
+}`)
+	wantGraph(t, g, `
+b0(entry) -> b1
+b1(for.head) -> b2 b4
+b2(for.body) -> b3
+b3(for.post) -> b1
+b4(for.done) -> b5
+b5(exit) ->`)
+	var body *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" {
+			body = b
+		}
+	}
+	foundDefer := false
+	for _, n := range body.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			foundDefer = true
+		}
+	}
+	if !foundDefer {
+		t.Errorf("defer statement not recorded in the loop body block")
+	}
+}
+
+// TestCFGSelectDefault pins that a select with a default clause gives the
+// head exactly its clause blocks as successors — the default makes the
+// select non-blocking, and both arms here return, leaving select.done
+// unreachable from entry.
+func TestCFGSelectDefault(t *testing.T) {
+	g := buildCFG(t, `
+func f(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return -1
+	}
+}`)
+	wantGraph(t, g, `
+b0(entry) -> b2 b4
+b1(select.done) -> b6
+b2(select.case) -> b6
+b3(unreach) -> b1
+b4(select.case) -> b6
+b5(unreach) -> b1
+b6(exit) ->`)
+}
+
+// TestCFGLabeledContinueRanges pins continue-to-label across nested range
+// loops: the if.then block's successor must be the OUTER range head (b2),
+// not the inner one (b5) — range loops have no post block, so continue
+// targets the head directly.
+func TestCFGLabeledContinueRanges(t *testing.T) {
+	g := buildCFG(t, `
+func f(xss [][]int) {
+outer:
+	for _, xs := range xss {
+		for _, x := range xs {
+			if x < 0 {
+				continue outer
+			}
+			work(x)
+		}
+	}
+}`)
+	wantGraph(t, g, `
+b0(entry) -> b1
+b1(label.outer) -> b2
+b2(range.head) -> b3 b4
+b3(range.body) -> b5
+b4(range.done) -> b11
+b5(range.head) -> b6 b7
+b6(range.body) -> b8 b10
+b7(range.done) -> b2
+b8(if.then) -> b2
+b9(unreach) -> b10
+b10(if.done) -> b5
+b11(exit) ->`)
+}
+
+// TestCFGDeadCodeAfterPanic pins that statements after a terminating panic
+// land in an unreach block with no predecessor on any entry path, while the
+// panic block itself edges straight to exit.
+func TestCFGDeadCodeAfterPanic(t *testing.T) {
+	g := buildCFG(t, `
+func f() {
+	panic("p: stop")
+	work()
+}`)
+	wantGraph(t, g, `
+b0(entry) -> b2
+b1(unreach) -> b2
+b2(exit) ->`)
+	var dead *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "unreach" {
+			dead = b
+		}
+	}
+	if len(dead.Preds) != 0 {
+		t.Errorf("dead block has preds %v, want none", kinds(dead.Preds))
+	}
+	if len(dead.Nodes) == 0 {
+		t.Errorf("statements after panic were not collected into the dead block")
+	}
+}
+
 func kinds(bs []*Block) []string {
 	var out []string
 	for _, b := range bs {

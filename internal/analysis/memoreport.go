@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// The memo report is the machine-readable output of the memo-safe analysis:
+// one entry per // sia:memoize function, stating whether it is certified
+// memoization-pure, how much code the certification covers, and every
+// violation and reviewed justification inside that cone. The ROADMAP's QE
+// subproblem cache consumes this to decide what it may memoize.
+
+// MemoReportSite locates one effect.
+type MemoReportSite struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+	Reason  string `json:"reason,omitempty"` // present on justifications
+}
+
+// MemoReportEntry is the verdict for one annotated entry point.
+type MemoReportEntry struct {
+	Function       string           `json:"function"`
+	File           string           `json:"file"`
+	Line           int              `json:"line"`
+	Certified      bool             `json:"certified"`
+	Reachable      int              `json:"reachable"` // call-graph nodes in the entry's cone
+	Violations     []MemoReportSite `json:"violations"`
+	Justifications []MemoReportSite `json:"justifications"`
+}
+
+// MemoReport is the document WriteMemoReport emits.
+type MemoReport struct {
+	Tool    string            `json:"tool"`
+	Entries []MemoReportEntry `json:"entries"`
+}
+
+// BuildMemoReport runs the memo-safe analysis over pkgs and assembles the
+// report. Paths are rewritten relative to baseDir when possible.
+func BuildMemoReport(pkgs []*Package, baseDir string) *MemoReport {
+	prog := BuildProgram(pkgs)
+	return buildMemoReport(prog, baseDir)
+}
+
+func buildMemoReport(prog *Program, baseDir string) *MemoReport {
+	report := &MemoReport{Tool: "sialint", Entries: []MemoReportEntry{}}
+	st := prog.memoAnalysis()
+	if st == nil {
+		return report
+	}
+	site := func(pkg *Package, iss memoIssue) MemoReportSite {
+		pos := pkg.Fset.Position(iss.pos)
+		return MemoReportSite{
+			File:    relativeTo(baseDir, pos.Filename),
+			Line:    pos.Line,
+			Column:  pos.Column,
+			Message: iss.msg,
+			Reason:  iss.reason,
+		}
+	}
+	for _, entry := range prog.MemoEntries() {
+		reach := prog.ReachableFrom([]*FuncNode{entry})
+		units := map[*FuncNode]bool{}
+		for n := range reach {
+			u := n.Root()
+			if _, ok := st.sums[u]; !ok {
+				u = n
+			}
+			units[u] = true
+		}
+		pos := entry.Pkg.Fset.Position(entry.Pos())
+		re := MemoReportEntry{
+			Function:       entry.Name,
+			File:           relativeTo(baseDir, pos.Filename),
+			Line:           pos.Line,
+			Reachable:      len(reach),
+			Violations:     []MemoReportSite{},
+			Justifications: []MemoReportSite{},
+		}
+		// Program order over units keeps the report deterministic.
+		for _, u := range prog.Nodes {
+			if !units[u] {
+				continue
+			}
+			for _, v := range st.viols[u] {
+				re.Violations = append(re.Violations, site(u.Pkg, v))
+			}
+			for _, j := range st.justs[u] {
+				re.Justifications = append(re.Justifications, site(u.Pkg, j))
+			}
+		}
+		re.Certified = len(re.Violations) == 0
+		report.Entries = append(report.Entries, re)
+	}
+	return report
+}
+
+// WriteMemoReport writes the memo report for pkgs to w as indented JSON.
+func WriteMemoReport(w io.Writer, pkgs []*Package, baseDir string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildMemoReport(pkgs, baseDir))
+}

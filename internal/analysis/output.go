@@ -1,15 +1,20 @@
 package analysis
 
 import (
+	"bufio"
 	"encoding/json"
+	"go/token"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 )
 
 // jsonFinding is the machine-readable form of one Finding. Positions are
 // split into file/line/column so consumers do not have to re-parse the
-// human-readable "file:line:col" rendering.
+// human-readable "file:line:col" rendering. Columns here are go/token byte
+// columns (1-based), matching what the compiler prints; the SARIF writer
+// converts to the UTF-16 unit the spec requires.
 type jsonFinding struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
@@ -115,6 +120,7 @@ type sarifRegion struct {
 // relative to baseDir with the %SRCROOT% base id, the convention SARIF
 // consumers use to re-root results onto a checkout.
 func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, baseDir string) error {
+	cols := newColumnConverter()
 	docs := map[string]string{}
 	for _, a := range analyzers {
 		docs[a.Name] = a.Doc
@@ -144,7 +150,7 @@ func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, baseDir 
 						URI:       filepath.ToSlash(relativeTo(baseDir, f.Pos.Filename)),
 						URIBaseID: "%SRCROOT%",
 					},
-					Region: sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+					Region: sarifRegion{StartLine: f.Pos.Line, StartColumn: cols.utf16Column(f.Pos)},
 				},
 			}},
 		})
@@ -160,6 +166,66 @@ func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, baseDir 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(log)
+}
+
+// columnConverter translates go/token byte columns into the 1-based UTF-16
+// code-unit columns SARIF 2.1.0 requires (§3.30.2: "startColumn ... counts
+// UTF-16 code units"). go/token.Position.Column counts bytes, so the two
+// disagree on any line containing a multi-byte rune before the finding. The
+// converter re-reads the flagged line from the source file and counts UTF-16
+// units (runes above U+FFFF are surrogate pairs: two units) over the bytes
+// preceding the column. Files are cached per writer invocation; unreadable
+// files fall back to the byte column, which is at worst the old behavior.
+type columnConverter struct {
+	lines map[string][]string // filename -> lines (nil when unreadable)
+}
+
+func newColumnConverter() *columnConverter {
+	return &columnConverter{lines: map[string][]string{}}
+}
+
+func (c *columnConverter) utf16Column(pos token.Position) int {
+	lines, ok := c.lines[pos.Filename]
+	if !ok {
+		lines = readLines(pos.Filename)
+		c.lines[pos.Filename] = lines
+	}
+	if pos.Line < 1 || pos.Line > len(lines) || pos.Column < 1 {
+		return pos.Column
+	}
+	line := lines[pos.Line-1]
+	prefix := pos.Column - 1 // bytes before the finding
+	if prefix > len(line) {
+		return pos.Column
+	}
+	units := 0
+	for _, r := range line[:prefix] {
+		if r > 0xFFFF {
+			units += 2
+		} else {
+			units++
+		}
+	}
+	return units + 1
+}
+
+// readLines loads a file's lines; nil means unreadable.
+func readLines(name string) []string {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if sc.Err() != nil {
+		return nil
+	}
+	return lines
 }
 
 // relativeTo rewrites path relative to base when that produces a path inside

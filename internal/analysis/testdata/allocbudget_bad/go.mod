@@ -1,0 +1,3 @@
+module abbad
+
+go 1.22

@@ -1,0 +1,3 @@
+module abgood
+
+go 1.22

@@ -1,0 +1,72 @@
+// Package kernel is the alloc-budget good fixture: a hot entry whose whole
+// reachable cone either avoids the heap or justifies every allocation.
+package kernel
+
+import "strconv"
+
+type state struct {
+	buf  []byte
+	vals []int64
+	sum  int64
+}
+
+// sia:hotpath
+func (s *state) Step(v int64) {
+	s.sum += v
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, 'v', '=') // in-place append is the amortized idiom
+	s.buf = strconv.AppendInt(s.buf, v, 10)
+	s.accumulate(v)
+}
+
+// accumulate is reachable from Step and stays allocation-free.
+func (s *state) accumulate(v int64) {
+	if len(s.vals) > 0 && s.vals[0] == v {
+		return
+	}
+	s.vals = append(s.vals, v)
+}
+
+// Setup is cold: it may allocate freely because no hot entry reaches it.
+func Setup(n int) *state {
+	return &state{
+		buf:  make([]byte, 0, 64),
+		vals: make([]int64, 0, n),
+	}
+}
+
+// grow is reachable from Step but justifies its allocation.
+// sia:hotpath
+func (s *state) Record(v int64) {
+	if v < 0 {
+		// alloc: cold slow path taken at most once per run
+		s.vals = append([]int64(nil), s.vals...)
+		return
+	}
+	s.sum += v
+}
+
+type parseError struct {
+	input string
+}
+
+// Error allocates freely. It must stay outside the hot cone: it is only
+// reached through error-terminal edges (panic arguments and non-nil error
+// returns), which do not extend hot reachability.
+func (e *parseError) Error() string {
+	return "kernel: bad input " + strconv.Quote(e.input)
+}
+
+// Validate is hot, but its failure paths build and format errors; the
+// terminal-edge rule keeps that formatting out of the allocation budget.
+// sia:hotpath
+func Validate(s *state, v int64) error {
+	if v > 1<<40 {
+		return &parseError{input: "overflow"}
+	}
+	if s == nil {
+		panic((&parseError{input: "nil state"}).Error())
+	}
+	s.sum += v
+	return nil
+}

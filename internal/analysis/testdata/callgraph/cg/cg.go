@@ -1,0 +1,40 @@
+// Package cg exercises every call-graph edge kind in one small module: CHA
+// over an interface with value and pointer implementors, a tracked function
+// value, a closure creation, and an untracked (dynamic) call.
+package cg
+
+type Shape interface{ Area() int }
+
+type Square struct{ s int }
+
+func (q Square) Area() int { return q.s * q.s }
+
+type Rect struct{ w, h int }
+
+func (r *Rect) Area() int { return r.w * r.h }
+
+// op is assigned exactly one named function, so calls through it resolve.
+var op = add
+
+func add(a, b int) int { return a + b }
+
+// loose escapes the tracker: its address is taken.
+var loose = add
+var looseAddr = &loose
+
+// Total calls through the interface (CHA), the tracked variable, and the
+// untracked one.
+func Total(shapes []Shape) int {
+	t := 0
+	for _, s := range shapes {
+		t += s.Area()
+	}
+	t = op(t, 1)
+	return loose(t, 2)
+}
+
+// Make creates a closure; the literal is a node linked by a closure edge.
+func Make(base int) func() int {
+	f := func() int { return base }
+	return f
+}

@@ -1,0 +1,3 @@
+module msbad
+
+go 1.22

@@ -1,0 +1,54 @@
+// Package impure is the memo-safe bad fixture: one violation per effect
+// class the analyzer promises to catch.
+package impure
+
+import "time"
+
+var cache = map[string]int{}
+
+type node struct {
+	val  int
+	next *node
+}
+
+// Touch writes a package-level map: not memoization-pure.
+// sia:memoize
+func Touch(key string) int {
+	cache[key]++ // global write
+	return cache[key]
+}
+
+// Bump mutates its argument — the memo key would change under the cache.
+// sia:memoize
+func Bump(n *node) int {
+	n.val++ // parameter mutation
+	return n.val
+}
+
+// Stamp reads the clock.
+// sia:memoize
+func Stamp(x int) int64 {
+	return int64(x) + time.Now().UnixNano() // nondeterminism
+}
+
+// Keys leaks map iteration order into a slice.
+// sia:memoize
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // order-dependent accumulation
+	}
+	return out
+}
+
+// Indirect launders the mutation through a helper: the summary propagates
+// scrub's receiver mutation to the entry's call site.
+// sia:memoize
+func Indirect(n *node) int {
+	scrub(n)
+	return n.val
+}
+
+func scrub(n *node) {
+	n.val = 0
+}

@@ -1,0 +1,3 @@
+module msgood
+
+go 1.22

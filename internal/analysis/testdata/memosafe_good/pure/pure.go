@@ -1,0 +1,76 @@
+// Package pure is the memo-safe good fixture: entries that clone before
+// mutating, keep effects on locally owned values, and justify the one
+// benign counter they touch.
+package pure
+
+import "sort"
+
+type vec struct {
+	xs []int
+}
+
+func (v *vec) clone() *vec {
+	return &vec{xs: append([]int(nil), v.xs...)}
+}
+
+// scale mutates its receiver in place. That alone is not a violation: the
+// summary records it, and call sites decide based on ownership.
+func (v *vec) scale(k int) {
+	for i := range v.xs {
+		v.xs[i] *= k
+	}
+}
+
+var evaluations int
+
+// Normalize is memoization-pure: it mutates only a clone, and the package
+// counter it bumps is justified.
+// sia:memoize
+func Normalize(v *vec, k int) []int {
+	// memo: diagnostic counter; results do not depend on it
+	evaluations++
+	w := v.clone()
+	w.scale(k)
+	sort.Ints(w.xs)
+	return w.xs
+}
+
+// Sum is pure over a map argument: iteration order cannot reach the output
+// of a commutative reduction.
+// sia:memoize
+func Sum(m map[string]int) int {
+	total := 0
+	for _, x := range m {
+		total += x
+	}
+	return total
+}
+
+type config struct {
+	limit int
+	tag   string
+}
+
+// normalized fills defaults into a copy. The writes land in the value
+// receiver — the caller's struct is untouched — so this must not count as
+// parameter mutation.
+func (c config) normalized() config {
+	if c.limit == 0 {
+		c.limit = 8
+	}
+	if c.tag == "" {
+		c.tag = "default"
+	}
+	return c
+}
+
+// Canonical is pure even though normalized writes fields of its receiver:
+// the receiver is a value, so the writes stay in Canonical's copy.
+// sia:memoize
+func Canonical(c config) string {
+	n := c.normalized()
+	if n.limit > 100 {
+		n.limit = 100
+	}
+	return n.tag
+}

@@ -1,0 +1,3 @@
+module uni
+
+go 1.22

@@ -1,0 +1,13 @@
+// Package pkg is the SARIF column fixture: the flagged allocations sit
+// after multi-byte runes, so their byte columns and UTF-16 columns differ.
+// π is two UTF-8 bytes but one UTF-16 unit; 𝛽 (U+1D6FD) is four UTF-8
+// bytes and a two-unit surrogate pair.
+package pkg
+
+// Grüße allocates on lines whose prefixes contain non-ASCII identifiers.
+// sia:hotpath
+func Grüße(n int) []int {
+	π := make([]int, n)
+	𝛽 := append(π, n)
+	return 𝛽
+}

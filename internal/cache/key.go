@@ -35,6 +35,8 @@ import (
 // keys stable when unrelated columns are added to a catalog. Options
 // contribute via their Fingerprint (defaults applied, Solver/Trace
 // excluded).
+//
+// sia:memoize
 func KeyFor(p predicate.Predicate, cols []string, schema *predicate.Schema, opts core.Options) (key string, ok bool) {
 	if opts.Solver != nil || opts.Trace != nil || opts.Tracer != nil {
 		return "", false

@@ -54,8 +54,11 @@ type vecProgram struct {
 	kernels []vecKernel
 }
 
+// sia:hotpath
 func (v *vecProgram) run(sel []bool, lo int) {
 	for _, k := range v.kernels {
+		// alloc: kernels are closures compiled once per (predicate, table);
+		// each writes sel in place and allocates nothing per row
 		k(sel, lo)
 	}
 }

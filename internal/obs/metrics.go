@@ -29,6 +29,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+// memo: a monotonic metrics counter is write-only to the code being
+// certified; memoized results never read it back.
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.

@@ -25,9 +25,13 @@ import (
 //     ⋁_{j=1..δ} F_{-∞}(j) ∨ ⋁_{j=1..δ} ⋁_{b∈B} F(b+j).
 //     The dual (upper bound) form is used when it has fewer substitution
 //     terms.
+//
+// sia:hotpath
 func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 	// Pass 1: validate and compute m, the LCM of |coeff(v)|.
+	// alloc: per-elimination LCM accumulator and one visitor closure
 	m := big.NewInt(1)
+	// alloc: one visitor closure per elimination
 	err := walkLeaves(f, func(leaf Formula) error {
 		switch x := leaf.(type) {
 		case *Atom:
@@ -37,9 +41,14 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 			if !x.T.AllIntVars() {
 				return fmt.Errorf("smt: cannot eliminate integer %s from mixed-sort atom %s", v, x)
 			}
-			t := x.T.Clone()
-			t.Scale(new(big.Rat).SetInt(t.DenomLCM()))
-			lcmInto(m, new(big.Int).Abs(t.Coeff(v).Num()))
+			// Scaling the atom by its denominator LCM L makes every
+			// coefficient integral; v's becomes num(c)·L/den(c). Computing
+			// that number directly avoids cloning the whole term per atom.
+			c := x.T.Coeff(v)
+			// alloc: one scratch integer per atom mentioning v
+			a := new(big.Int).Mul(c.Num(), x.T.DenomLCM())
+			a.Quo(a, c.Denom()).Abs(a)
+			lcmInto(m, a)
 		case *Div:
 			if !x.T.Has(v) {
 				return nil
@@ -48,6 +57,7 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 			if !c.IsInt() {
 				return fmt.Errorf("smt: non-integer coefficient in divisibility atom %s", x)
 			}
+			// alloc: one scratch integer per divisibility atom
 			lcmInto(m, new(big.Int).Abs(c.Num()))
 		default:
 			// walkLeaves yields only Atom and Div leaves.
@@ -60,6 +70,8 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 
 	// Pass 2: rewrite so v's coefficient is ±1 on the fresh variable y.
 	y := s.freshVar()
+	// alloc: one rewriter closure per elimination; the rewritten formula is
+	// the product
 	rewritten, err := rewriteLeaves(f, func(leaf Formula) (Formula, error) {
 		switch x := leaf.(type) {
 		case *Atom:
@@ -67,6 +79,7 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 				return leaf, nil
 			}
 			t := x.T.Clone()
+			// alloc: per-atom scaling factor
 			t.Scale(new(big.Rat).SetInt(t.DenomLCM()))
 			op := x.Op
 			if op == OpLE {
@@ -76,9 +89,11 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 			}
 			// Scale so coeff(v) becomes ±m, then swap m·v for y.
 			a := t.Coeff(v).Num()
+			// alloc: per-atom scaling factor m/|a|
 			k := new(big.Rat).SetFrac(new(big.Int).Quo(m, new(big.Int).Abs(a)), bigOne)
 			t.Scale(k)
 			sign := t.Coeff(v).Sign()
+			// alloc: y's unit coefficient in the rewritten atom
 			t.coeffs[y] = big.NewRat(int64(sign), 1)
 			delete(t.coeffs, v)
 			return expandIntAtom(op, t, y), nil
@@ -88,15 +103,20 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 			}
 			t := x.T.Clone()
 			a := t.Coeff(v).Num()
+			// alloc: per-atom scaling factor and scaled modulus
 			k := new(big.Int).Quo(m, new(big.Int).Abs(a))
+			// alloc: per-atom scaling factor
 			t.Scale(new(big.Rat).SetInt(k))
+			// alloc: per-atom scaled modulus
 			mod := new(big.Int).Mul(x.M, k)
 			sign := t.Coeff(v).Sign()
+			// alloc: y's unit coefficient in the rewritten atom
 			t.coeffs[y] = big.NewRat(int64(sign), 1)
 			delete(t.coeffs, v)
 			if sign < 0 {
 				t.Neg() // d | t  ==  d | -t
 			}
+			// alloc: the rewritten divisibility atom is the product
 			return &Div{Neg: x.Neg, M: mod, T: t}, nil
 		default:
 			return leaf, nil
@@ -107,13 +127,18 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 	}
 	work := rewritten
 	if m.Cmp(bigOne) != 0 {
+		// alloc: the m | y constraint, once per elimination
 		work = NewAnd(work, &Div{M: new(big.Int).Set(m), T: VarTerm(y)})
 	}
 
 	// Collect δ, lower bound terms and upper bound terms.
+	// alloc: per-elimination period accumulator, bound dedup tables, and
+	// one collector closure
 	delta := big.NewInt(1)
 	var lowers, uppers []*Term
+	// alloc: per-elimination bound dedup tables
 	lowerSeen, upperSeen := map[string]bool{}, map[string]bool{}
+	// alloc: one collector closure per elimination
 	err = walkLeaves(work, func(leaf Formula) error {
 		switch x := leaf.(type) {
 		case *Atom:
@@ -129,12 +154,14 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 				// y + r < 0, i.e. y < -r: upper bound -r.
 				rest.Neg()
 				if !upperSeen[rest.String()] {
+					// alloc: dedup table grows once per distinct bound
 					upperSeen[rest.String()] = true
 					uppers = append(uppers, rest)
 				}
 			} else {
 				// -y + r < 0, i.e. r < y: lower bound r.
 				if !lowerSeen[rest.String()] {
+					// alloc: dedup table grows once per distinct bound
 					lowerSeen[rest.String()] = true
 					lowers = append(lowers, rest)
 				}
@@ -165,6 +192,20 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 		return nil, fmt.Errorf("%w: %d×%d substitutions eliminating %s", ErrBudget, len(bounds)+1, dn, v)
 	}
 
+	// Each bound is cloned once and shifted incrementally: entering
+	// iteration j the shifted term equals b ± j — the previous iteration's
+	// value ± 1 — so the per-(j, bound) deep clone of the old loop becomes a
+	// single constant update. Subst only reads the replacement term, never
+	// retains it, so reuse across iterations is safe.
+	// alloc: one clone per bound, reused across all δ iterations
+	shifted := make([]*Term, len(bounds))
+	for i, b := range bounds {
+		shifted[i] = b.Clone()
+	}
+	step := int64(1)
+	if !useLower {
+		step = -1
+	}
 	var disjuncts []Formula
 	total := 0
 	for j := int64(1); j <= dn; j++ {
@@ -177,13 +218,8 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 		}
 		disjuncts = append(disjuncts, inf)
 		total += CountNodes(inf)
-		for _, b := range bounds {
-			repl := b.Clone()
-			if useLower {
-				repl.AddInt64(j)
-			} else {
-				repl.AddInt64(-j)
-			}
+		for _, repl := range shifted {
+			repl.AddInt64(step)
 			d := Simplify(Subst(work, y, repl))
 			if bb, ok := d.(Bool); ok && bool(bb) {
 				return Bool(true), nil
@@ -200,6 +236,7 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 
 // expandIntAtom turns an atom whose y-coefficient is ±1 into strict bounds
 // on y.
+// alloc: the expanded bound atoms are the product.
 func expandIntAtom(op AtomOp, t *Term, y Var) Formula {
 	switch op {
 	case OpLT:
@@ -225,6 +262,8 @@ func expandIntAtom(op AtomOp, t *Term, y Var) Formula {
 // substInfinity computes F with y sent to -∞ (useLower) or +∞: bound atoms
 // collapse to constants and divisibility atoms get y := ±j (any value with
 // the right residue, since they are periodic).
+// alloc: one rewrite closure and residue term per call; the rewritten
+// tree is the product.
 func substInfinity(f Formula, y Var, j int64, useLower bool) Formula {
 	repl := ConstTerm(j)
 	if !useLower {
@@ -257,6 +296,9 @@ func substInfinity(f Formula, y Var, j int64, useLower bool) Formula {
 }
 
 // walkLeaves visits every Atom/Div leaf of a quantifier-free NNF formula.
+// memo: the visit callbacks are function literals created in this package;
+// their effects are analyzed at their creation sites (closure effects
+// belong to the creating unit), so the indirect call adds nothing.
 func walkLeaves(f Formula, visit func(Formula) error) error {
 	switch x := f.(type) {
 	case Bool:
@@ -284,6 +326,10 @@ func walkLeaves(f Formula, visit func(Formula) error) error {
 
 // rewriteLeaves rebuilds a quantifier-free NNF formula with every Atom/Div
 // leaf replaced by the callback's result.
+// alloc: rebuilds the tree; growth is bounded by the eliminator's budgets.
+// memo: the repl callbacks are function literals created in this package;
+// their effects are analyzed at their creation sites (closure effects
+// belong to the creating unit), so the indirect call adds nothing.
 func rewriteLeaves(f Formula, repl func(Formula) (Formula, error)) (Formula, error) {
 	switch x := f.(type) {
 	case Bool:

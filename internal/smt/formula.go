@@ -62,6 +62,8 @@ type Atom struct {
 
 func (*Atom) formula() {}
 
+// String renders the atom; used by the eliminators as a dedup key.
+// alloc: string building is the product.
 func (a *Atom) String() string { return fmt.Sprintf("%s %s 0", a.T, a.Op) }
 
 // Div asserts M | T (M divides the value of T), or its negation when Neg is
@@ -75,6 +77,8 @@ type Div struct {
 
 func (*Div) formula() {}
 
+// String renders the divisibility atom.
+// alloc: string building is the product.
 func (d *Div) String() string {
 	if d.Neg {
 		return fmt.Sprintf("!(%s | %s)", d.M, d.T)
@@ -107,6 +111,8 @@ type Not struct {
 
 func (*Not) formula() {}
 
+// String renders the negation.
+// alloc: string building is the product.
 func (n *Not) String() string { return "!(" + n.F.String() + ")" }
 
 // Exists existentially quantifies a variable.
@@ -117,6 +123,8 @@ type Exists struct {
 
 func (*Exists) formula() {}
 
+// String renders the quantifier.
+// alloc: string building is the product.
 func (e *Exists) String() string { return fmt.Sprintf("exists %s:%s. (%s)", e.V.Name, e.V.Sort, e.F) }
 
 // ForAll universally quantifies a variable.
@@ -127,8 +135,12 @@ type ForAll struct {
 
 func (*ForAll) formula() {}
 
+// String renders the quantifier.
+// alloc: string building is the product.
 func (f *ForAll) String() string { return fmt.Sprintf("forall %s:%s. (%s)", f.V.Name, f.V.Sort, f.F) }
 
+// joinFormulas renders an n-ary connective.
+// alloc: string building is the product.
 func joinFormulas(fs []Formula, sep, empty string) string {
 	if len(fs) == 0 {
 		return empty
@@ -149,6 +161,8 @@ func joinFormulas(fs []Formula, sep, empty string) string {
 // formulas collapse immediately.
 
 // NewAnd returns the conjunction of fs, flattening and folding constants.
+// alloc: formula construction is the product; growth is bounded by the
+// eliminator's maxNodes budget.
 func NewAnd(fs ...Formula) Formula {
 	var flat []Formula
 	for _, f := range fs {
@@ -173,6 +187,8 @@ func NewAnd(fs ...Formula) Formula {
 }
 
 // NewOr returns the disjunction of fs, flattening and folding constants.
+// alloc: formula construction is the product; growth is bounded by the
+// eliminator's maxNodes budget.
 func NewOr(fs ...Formula) Formula {
 	var flat []Formula
 	for _, f := range fs {
@@ -197,6 +213,7 @@ func NewOr(fs ...Formula) Formula {
 }
 
 // NewNot returns the negation of f, folding constants and double negation.
+// alloc: formula construction is the product.
 func NewNot(f Formula) Formula {
 	switch x := f.(type) {
 	case Bool:
@@ -229,6 +246,7 @@ func NE(a, b *Term) Formula { return newAtom(OpNE, diff(a, b)) }
 func diff(a, b *Term) *Term { return a.Clone().AddScaled(b, big.NewRat(-1, 1)) }
 
 // newAtom folds ground atoms to Bool.
+// alloc: formula construction is the product.
 func newAtom(op AtomOp, t *Term) Formula {
 	if t.IsConst() {
 		return Bool(evalAtomConst(op, t.Const()))
@@ -312,6 +330,8 @@ func FreeVars(f Formula) []Var {
 // Subst returns f with every free occurrence of v replaced by the term
 // repl. f must be quantifier-free in v's scope for the substitution to be
 // capture-free; quantifiers binding v shadow the substitution.
+// alloc: builds the substituted tree; untouched subtrees are shared, and
+// growth is bounded by the eliminator's maxNodes budget.
 func Subst(f Formula, v Var, repl *Term) Formula {
 	switch x := f.(type) {
 	case Bool:
@@ -356,6 +376,7 @@ func Subst(f Formula, v Var, repl *Term) Formula {
 }
 
 // simplifyDiv folds a divisibility atom whose term is constant.
+// alloc: one scratch integer for the modulus check.
 func simplifyDiv(d *Div) Formula {
 	if !d.T.IsConst() {
 		return d

@@ -11,6 +11,8 @@ import (
 // AND/OR collapse, and a child together with its complement collapses the
 // whole connective. Simplify is applied after every quantifier-elimination
 // step to keep intermediate formulas tractable.
+// alloc: rebuilds the simplified tree; the result is usually smaller than
+// the input and growth is bounded by the eliminator's maxNodes budget.
 func Simplify(f Formula) Formula {
 	switch x := f.(type) {
 	case Bool:
@@ -99,6 +101,8 @@ func occurs(v Var, f Formula) bool {
 // scalings are by positive rationals, so the relation is preserved. If the
 // term has integer variables only and integer coefficients, a strict
 // inequality t < 0 is tightened to t + 1 <= 0.
+// alloc: scratch rationals for the canonical scaling; the canonical atom
+// is the product.
 func canonAtom(op AtomOp, t *Term) Formula {
 	if t.IsConst() {
 		return Bool(evalAtomConst(op, t.Const()))
@@ -145,6 +149,7 @@ func canonAtom(op AtomOp, t *Term) Formula {
 }
 
 // varCoeffGCD returns the GCD of the (integer) variable coefficients.
+// alloc: scratch integers for the GCD accumulation.
 func varCoeffGCD(t *Term) *big.Int {
 	g := new(big.Int)
 	for _, v := range t.Vars(nil) {
@@ -163,6 +168,7 @@ func varCoeffGCD(t *Term) *big.Int {
 
 // tightenIntLE rewrites g·s + c <= 0 (integer-valued s, integer coefficient
 // GCD g) as s - floor(-c/g) <= 0, the tightest integer bound.
+// alloc: one scratch rational for the 1/g scaling.
 func tightenIntLE(t *Term) *Term {
 	g := varCoeffGCD(t)
 	if g.Cmp(bigOne) > 0 {
@@ -184,6 +190,7 @@ func intCoeffs(t *Term) bool {
 
 // roundIntAtomLE tightens t <= 0 where all variable parts are integral:
 // sum + c <= 0  ==  sum <= floor(-c)  ==  sum - floor(-c) <= 0.
+// alloc: scratch integers for the floor computation.
 func roundIntAtomLE(t *Term) *Term {
 	c := t.Const()
 	if c.IsInt() {
@@ -205,6 +212,7 @@ func roundIntAtomLE(t *Term) *Term {
 // contentGCD returns the GCD of the numerators of all coefficients and the
 // constant, assuming denominators are already cleared. Returns 1 if the
 // term is zero apart from signs.
+// alloc: scratch integers and one accumulator closure per call.
 func contentGCD(t *Term) *big.Int {
 	g := new(big.Int)
 	acc := func(r *big.Rat) {
@@ -229,6 +237,7 @@ func contentGCD(t *Term) *big.Int {
 
 // canonDiv canonicalizes a divisibility atom: the term's coefficients and
 // constant are reduced modulo M, and ground instances fold to Bool.
+// alloc: the reduced atom and its modulus scratch are the product.
 func canonDiv(d *Div) Formula {
 	if d.M.Cmp(bigOne) == 0 {
 		return Bool(!d.Neg)
@@ -267,6 +276,8 @@ func allIntRat(t *Term) bool {
 
 // simplifyJunction simplifies the children of an AND (isAnd) or OR,
 // deduplicates them syntactically, and detects complementary atom pairs.
+// alloc: the dedup table, visitor closure, and rebuilt child list are the
+// per-junction working set; bounded by the input's size.
 func simplifyJunction(fs []Formula, isAnd bool) Formula {
 	var out []Formula
 	seen := map[string]bool{}

@@ -89,10 +89,15 @@ func (s *Solver) arm(ctx context.Context, kind string) func() {
 // go unnoticed to a fraction of one solver call.
 func (s *Solver) checkStop() error {
 	if s.ctx != nil {
+		// alloc: context implementations live in the runtime; Err returns a
+		// cached sentinel without allocating, and the wrap below only runs
+		// on the way out
 		if err := s.ctx.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrInterrupted, err)
 		}
 	}
+	// memo: the deadline poll can only select early abort (ErrBudget);
+	// results that complete are unaffected by the clock
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 		return fmt.Errorf("%w: timeout after %v", ErrBudget, s.Timeout)
 	}
@@ -124,7 +129,10 @@ func (s *Solver) maxModulus() int {
 }
 
 func (s *Solver) freshVar() Var {
+	// memo: the counter only keeps generated names distinct; eliminated
+	// variables never appear in results
 	s.freshID++
+	// alloc: one short name per eliminated quantifier
 	return Var{Name: fmt.Sprintf("$q%d", s.freshID), Sort: SortInt}
 }
 
@@ -194,6 +202,8 @@ func (s *Solver) QECtx(ctx context.Context, f Formula) (Formula, error) {
 // formula, dispatching on the variable's sort. Existentials distribute over
 // disjunction, which keeps intermediate formulas small when the input is
 // already a union of cases (as Cooper's output is).
+//
+// sia:memoize
 func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
 	if err := s.checkStop(); err != nil {
 		return nil, err
@@ -202,6 +212,7 @@ func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
 	if !occurs(v, f) {
 		return f, nil
 	}
+	// memo: statistics counter; results do not depend on it
 	s.Stats.Eliminations++
 	mEliminations.Inc()
 	if or, ok := f.(*Or); ok {

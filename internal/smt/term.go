@@ -67,6 +67,9 @@ type Term struct {
 }
 
 // NewTerm returns the constant term c (c may be nil for zero).
+// alloc: constructing a term is the product; exact arithmetic needs heap
+// rationals, and the QE budgets (maxNodes/maxDisjuncts) bound how many
+// terms an elimination can build.
 func NewTerm(c *big.Rat) *Term {
 	t := &Term{coeffs: map[Var]*big.Rat{}, konst: new(big.Rat)}
 	if c != nil {
@@ -76,16 +79,21 @@ func NewTerm(c *big.Rat) *Term {
 }
 
 // ConstTerm returns the integer constant term n.
+// alloc: term constructor; bounded by the elimination budgets.
 func ConstTerm(n int64) *Term { return NewTerm(new(big.Rat).SetInt64(n)) }
 
 // VarTerm returns the term 1*v.
+// alloc: term constructor; bounded by the elimination budgets.
 func VarTerm(v Var) *Term {
 	t := NewTerm(nil)
 	t.AddVar(v, big.NewRat(1, 1))
 	return t
 }
 
-// Clone returns a deep copy of the term.
+// Clone returns a deep copy of the term. The clone-then-mutate discipline
+// is what keeps the in-place arithmetic below memo-safe; hot paths are
+// expected to hoist clones out of inner loops (see eliminateInt).
+// alloc: a deep copy is this function's contract.
 func (t *Term) Clone() *Term {
 	c := &Term{coeffs: make(map[Var]*big.Rat, len(t.coeffs)), konst: new(big.Rat).Set(t.konst)}
 	for v, r := range t.coeffs {
@@ -95,6 +103,8 @@ func (t *Term) Clone() *Term {
 }
 
 // AddVar adds coeff*v to the term in place and returns the term.
+// alloc: first mention of a variable stores one fresh rational; repeated
+// additions reuse it.
 func (t *Term) AddVar(v Var, coeff *big.Rat) *Term {
 	cur, ok := t.coeffs[v]
 	if !ok {
@@ -115,6 +125,7 @@ func (t *Term) AddConst(c *big.Rat) *Term {
 }
 
 // AddInt64 adds the integer n to the term's constant in place.
+// alloc: one scratch rational per call; the konst update itself is in place.
 func (t *Term) AddInt64(n int64) *Term {
 	return t.AddConst(new(big.Rat).SetInt64(n))
 }
@@ -128,6 +139,8 @@ func (t *Term) Add(o *Term) *Term {
 }
 
 // AddScaled adds k*o to the term in place and returns the term.
+// alloc: one scratch rational per call, reused across all of o's
+// coefficients.
 func (t *Term) AddScaled(o *Term, k *big.Rat) *Term {
 	tmp := new(big.Rat)
 	for v, r := range o.coeffs {
@@ -137,6 +150,8 @@ func (t *Term) AddScaled(o *Term, k *big.Rat) *Term {
 }
 
 // Scale multiplies the term by k in place and returns the term.
+// alloc: the k == 0 branch replaces the coefficient map; the common path
+// multiplies in place.
 func (t *Term) Scale(k *big.Rat) *Term {
 	if k.Sign() == 0 {
 		t.coeffs = map[Var]*big.Rat{}
@@ -151,6 +166,7 @@ func (t *Term) Scale(k *big.Rat) *Term {
 }
 
 // Neg negates the term in place and returns the term.
+// alloc: one rational for the -1 multiplier.
 func (t *Term) Neg() *Term { return t.Scale(big.NewRat(-1, 1)) }
 
 // Coeff returns the coefficient of v (zero if absent). The returned value
@@ -172,6 +188,9 @@ func (t *Term) IsConst() bool { return len(t.coeffs) == 0 }
 func (t *Term) Has(v Var) bool { _, ok := t.coeffs[v]; return ok }
 
 // Vars appends the term's variables to dst in sorted order.
+// alloc: append grows the caller's buffer; sort.Slice boxes one closure.
+// memo: the appended window is sorted before returning, so map iteration
+// order cannot reach the result.
 func (t *Term) Vars(dst []Var) []Var {
 	start := len(dst)
 	for v := range t.coeffs {
@@ -182,6 +201,7 @@ func (t *Term) Vars(dst []Var) []Var {
 }
 
 // Subst replaces v by the term repl: t becomes t[v := repl]. Returns t.
+// alloc: one rational to detach v's coefficient before it is deleted.
 func (t *Term) Subst(v Var, repl *Term) *Term {
 	c, ok := t.coeffs[v]
 	if !ok {
@@ -194,6 +214,7 @@ func (t *Term) Subst(v Var, repl *Term) *Term {
 
 // DenomLCM returns the least common multiple of the denominators of all
 // coefficients and the constant.
+// alloc: one fresh accumulator; the result is the caller's to keep.
 func (t *Term) DenomLCM() *big.Int {
 	l := big.NewInt(1)
 	lcmInto(l, t.konst.Denom())
@@ -213,6 +234,9 @@ func (t *Term) AllIntVars() bool {
 	return true
 }
 
+// String renders the term. Hot callers (bound dedup in the eliminators)
+// use it as a canonical key; rendering is inherently allocating.
+// alloc: string building is the product.
 func (t *Term) String() string {
 	vars := t.Vars(nil)
 	if len(vars) == 0 {
@@ -271,6 +295,7 @@ var (
 )
 
 // lcmInto sets l = lcm(l, d) for positive d.
+// alloc: one scratch integer for the GCD.
 func lcmInto(l, d *big.Int) {
 	g := new(big.Int).GCD(nil, nil, l, d)
 	l.Div(l, g).Mul(l, d)
