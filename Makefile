@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine race-serve lint lint-json lint-sarif lint-alloc lint-self memo-report fuzz-smoke smoke-siad check clean
+.PHONY: build vet test race race-engine race-serve race-smt lint lint-json lint-sarif lint-alloc lint-self memo-report bench-smt fuzz-smoke smoke-siad check clean
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ race-engine:
 # concurrency hotspots; always run them racy and fresh.
 race-serve:
 	$(GO) test -race -count=1 ./internal/cache/ ./cmd/siad/
+
+# The SMT hot path is concurrent in three places — the hash-cons interner,
+# the process-wide QE memo, and parallel disjunct elimination — and the
+# cache tracer can be swapped while requests are in flight. Run those
+# regression suites racy and fresh.
+race-smt:
+	$(GO) test -race -count=1 ./internal/smt/ ./internal/cache/...
 
 lint:
 	$(GO) run ./cmd/sialint ./...
@@ -50,6 +57,14 @@ lint-self:
 memo-report:
 	$(GO) run ./cmd/sialint -enable memo-safe -memo-report memo-report.json ./...
 
+# SMT hot-path bench: runs the Table 2/3 synthesis workload and writes
+# per-kind solver latency distributions to BENCH_smt.json, with per-kind
+# speedups against the committed BENCH_smt_baseline.json (captured on the
+# pre-interner/pre-memo solver).
+bench-smt:
+	$(GO) run ./cmd/siabench -experiment table2,table3 -queries 20 -scale 1 \
+		-bench-out BENCH_smt.json -bench-baseline BENCH_smt_baseline.json
+
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
 
@@ -59,7 +74,7 @@ smoke-siad:
 	./scripts/smoke-siad.sh
 
 # check is the full CI gate: everything must pass before merging.
-check: build vet race race-engine race-serve lint lint-alloc lint-self smoke-siad
+check: build vet race race-engine race-serve race-smt lint lint-alloc lint-self smoke-siad
 
 clean:
 	$(GO) clean ./...

@@ -20,9 +20,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"sia/internal/experiments"
 	"sia/internal/maxcompute"
 	"sia/internal/obs"
+	"sia/internal/smt"
 )
 
 func main() {
@@ -48,7 +51,26 @@ func run() error {
 	seed := flag.Int64("seed", 0, "workload seed (0 = default)")
 	parallelism := flag.Int("parallelism", 0, "engine worker count for plan execution (0 = one per CPU; results are identical at any setting)")
 	trace := flag.String("trace", "", "write CEGIS trace spans to this file as JSONL (disables synthesis caching)")
+	benchOut := flag.String("bench-out", "", "write a JSON snapshot of the process-wide SMT metrics to this file after the run (the BENCH_smt.json artifact)")
+	benchBaseline := flag.String("bench-baseline", "", "embed this previously written -bench-out file as the baseline and report speedups against it")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("opening cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "siabench: cpuprofile:", cerr)
+			}
+		}()
+	}
 
 	var sfs []float64
 	for _, s := range strings.Split(*scale, ",") {
@@ -154,5 +176,65 @@ func run() error {
 			section(fmt.Sprintf("Motivating example (scale %g)", sf), experiments.RenderMotivating(m))
 		}
 	}
+	if *benchOut != "" {
+		if err := writeBenchOut(*benchOut, *benchBaseline, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchReport is the BENCH_smt.json schema: the workload that was run, the
+// SMT metric snapshot it produced, and (when -bench-baseline names an
+// earlier report) that baseline plus per-kind mean-latency speedups.
+type benchReport struct {
+	Workload struct {
+		Queries      int       `json:"queries"`
+		Seed         int64     `json:"seed"`
+		ScaleFactors []float64 `json:"scale_factors"`
+	} `json:"workload"`
+	SMT      smt.BenchSnapshot  `json:"smt"`
+	Baseline *benchReport       `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"mean_speedup,omitempty"`
+}
+
+// writeBenchOut snapshots the SMT metrics accumulated by this process's run
+// and writes them as JSON. With a baseline file, the baseline is embedded
+// and a mean-latency speedup (baseline mean / current mean) is reported per
+// query kind so BENCH_smt.json carries the before/after comparison whole.
+func writeBenchOut(path, baselinePath string, cfg experiments.Config) error {
+	var rep benchReport
+	rep.Workload.Queries = cfg.Queries
+	rep.Workload.Seed = cfg.Seed
+	rep.Workload.ScaleFactors = cfg.ScaleFactors
+	rep.SMT = smt.Snapshot()
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("reading bench baseline: %w", err)
+		}
+		base := new(benchReport)
+		if err := json.Unmarshal(raw, base); err != nil {
+			return fmt.Errorf("parsing bench baseline %s: %w", baselinePath, err)
+		}
+		rep.Baseline = base
+		rep.Speedup = map[string]float64{}
+		for kind, cur := range rep.SMT.Query {
+			b, ok := base.SMT.Query[kind]
+			if !ok || cur.MeanSeconds == 0 || b.MeanSeconds == 0 {
+				continue
+			}
+			rep.Speedup[kind] = b.MeanSeconds / cur.MeanSeconds
+		}
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("writing bench report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench report: %s\n", path)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sia/internal/core"
 	"sia/internal/obs"
@@ -51,7 +52,10 @@ type Cache struct {
 	// them live; Stats() is a snapshot view over the same values.
 	hits, misses, coalesced, evictions obs.Counter
 
-	tracer *obs.Tracer
+	// tracer is read by traceOutcome on every request, concurrently with
+	// SetTracer; the atomic pointer keeps that pair race-free without
+	// widening c.mu over trace emission.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 type entry struct {
@@ -235,13 +239,14 @@ func (c *Cache) Stats() Stats {
 
 // SetTracer attaches a tracer whose EvCache spans record the outcome of
 // every request (hit, miss, coalesced). A nil tracer (the default)
-// disables emission at zero cost. Not safe to call concurrently with Do.
-func (c *Cache) SetTracer(t *obs.Tracer) { c.tracer = t }
+// disables emission at zero cost. Safe to call concurrently with Do;
+// requests already past their outcome point keep the tracer they loaded.
+func (c *Cache) SetTracer(t *obs.Tracer) { c.tracer.Store(t) }
 
 // traceOutcome emits one cache-outcome span. Nil-safe and free when no
 // tracer is attached.
 func (c *Cache) traceOutcome(outcome string) {
-	c.tracer.Emit(obs.Span{Event: obs.EvCache, Outcome: outcome})
+	c.tracer.Load().Emit(obs.Span{Event: obs.EvCache, Outcome: outcome})
 }
 
 // RegisterMetrics exposes this cache instance's counters and gauges in reg
@@ -322,6 +327,6 @@ func (s *Synthesizer) RegisterMetrics(reg *obs.Registry) error {
 	return s.cache.RegisterMetrics(reg)
 }
 
-// SetTracer attaches a tracer to the underlying cache. Not safe to call
+// SetTracer attaches a tracer to the underlying cache. Safe to call
 // concurrently with Synthesize.
 func (s *Synthesizer) SetTracer(t *obs.Tracer) { s.cache.SetTracer(t) }

@@ -6,7 +6,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"sia/internal/core"
@@ -63,6 +65,65 @@ func TestRegisterMetricsExposesCounters(t *testing.T) {
 	err := c.RegisterMetrics(reg)
 	if !errors.Is(err, obs.ErrAlreadyRegistered) {
 		t.Errorf("second registration: got %v, want ErrAlreadyRegistered", err)
+	}
+}
+
+// TestSetTracerRacesDo is the -race regression for the tracer swap: Do
+// emits outcome spans from many goroutines while SetTracer concurrently
+// attaches, replaces and detaches tracers. Before tracer access became
+// atomic this was a data race on the tracer field.
+func TestSetTracerRacesDo(t *testing.T) {
+	c := New(64)
+	var buf1, buf2 bytes.Buffer
+	tr1, tr2 := obs.NewTracer(&buf1), obs.NewTracer(&buf2)
+	ctx := context.Background()
+	mk := func(context.Context) (*core.Result, error) { return &core.Result{}, nil }
+
+	var wg, swapper sync.WaitGroup
+	stop := make(chan struct{})
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				c.SetTracer(tr1)
+			case 1:
+				c.SetTracer(tr2)
+			default:
+				c.SetTracer(nil)
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*200+i)%32)
+				if _, _, err := c.Do(ctx, key, mk); err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Let the Do goroutines finish first so every outcome span lands on
+	// whichever tracer was current; then stop the swapper before closing
+	// the tracers (Emit on a closed tracer would write to a dead buffer).
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	if err := tr1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

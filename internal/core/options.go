@@ -114,6 +114,12 @@ func (o Options) withDefaults() Options {
 	if explicitSolverTimeout || o.Solver.Timeout == 0 {
 		o.Solver.Timeout = o.SolverTimeout
 	}
+	// Tracing flows through to the solver so qe_memo hit/miss spans land
+	// in the same trace as the CEGIS events; a solver supplied with its
+	// own tracer keeps it.
+	if o.Solver.Tracer == nil {
+		o.Solver.Tracer = o.Tracer
+	}
 	return o
 }
 

@@ -84,6 +84,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one observation.
+// memo: a metrics histogram is write-only to the code being certified;
+// memoized results never read it back.
 func (h *Histogram) Observe(v float64) {
 	// First bound >= v: the bucket whose "le" the observation falls under.
 	i := sort.SearchFloat64s(h.bounds, v)

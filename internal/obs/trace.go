@@ -15,6 +15,8 @@ import (
 // EvSynthesisDone carrying the outcome and the Table-3 timing breakdown.
 // EvSamples covers the initial sample generation before the loop;
 // EvCache is emitted by the result cache for hit/miss/coalesce outcomes.
+// EvQEMemo is emitted by the SMT solver's quantifier-elimination memo for
+// each outermost elimination, with Outcome "hit" or "miss".
 const (
 	EvSynthesisStart  = "synthesis_start"
 	EvSamples         = "samples"
@@ -23,6 +25,7 @@ const (
 	EvCounterexamples = "counterexamples"
 	EvSynthesisDone   = "synthesis_done"
 	EvCache           = "cache"
+	EvQEMemo          = "qe_memo"
 )
 
 // Span is one trace event. Event is required; every other field is emitted
@@ -129,6 +132,9 @@ func (t *Tracer) Enabled() bool { return t != nil }
 
 // Emit records one span. On a nil tracer it is a no-op that performs zero
 // allocations, so call sites on hot paths need no separate guard.
+// memo: tracing is a write-only observability channel; the code being
+// certified never reads a span back, so the clock, lock and buffered
+// write are invisible to memoized results.
 //
 // sia:hotpath
 func (t *Tracer) Emit(s Span) {

@@ -1,0 +1,80 @@
+package smt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestCoefDifferential drives coef through randomized arithmetic mirrored
+// on big.Rat and requires bit-exact agreement, including around the int64
+// overflow promotion/demotion boundary.
+func TestCoefDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randVal := func() (coef, *big.Rat) {
+		var n, d int64
+		switch rng.Intn(4) {
+		case 0:
+			n, d = int64(rng.Intn(21)-10), 1
+		case 1:
+			n, d = int64(rng.Intn(2001)-1000), int64(rng.Intn(40)+1)
+		case 2:
+			n, d = rng.Int63()-rng.Int63(), int64(rng.Intn(1000)+1)
+		default:
+			// Near the overflow boundary.
+			n, d = (1<<62)+rng.Int63n(1<<10), (1<<61)+int64(rng.Intn(7)+1)
+		}
+		var c coef
+		c.setFrac64(n, d)
+		return c, new(big.Rat).SetFrac64(n, d)
+	}
+	check := func(op string, c *coef, want *big.Rat) {
+		t.Helper()
+		if got := c.rat(); got.Cmp(want) != 0 {
+			t.Fatalf("%s: coef=%s want %s", op, got.RatString(), want.RatString())
+		}
+		// Canonical-form invariant on the fast path.
+		if c.r == nil {
+			d := c.denom()
+			if d <= 0 || gcd64(c.num, d) > 1 && c.num != 0 {
+				t.Fatalf("%s: non-canonical fast coef %d/%d", op, c.num, d)
+			}
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		a, ra := randVal()
+		b, rb := randVal()
+		switch rng.Intn(7) {
+		case 0:
+			a.add(&b)
+			check("add", &a, ra.Add(ra, rb))
+		case 1:
+			a.mul(&b)
+			check("mul", &a, ra.Mul(ra, rb))
+		case 2:
+			if !b.isZero() {
+				a.quo(&b)
+				check("quo", &a, ra.Quo(ra, rb))
+			}
+		case 3:
+			a.neg()
+			check("neg", &a, ra.Neg(ra))
+		case 4:
+			if !a.isZero() {
+				a.inv()
+				check("inv", &a, ra.Inv(ra))
+			}
+		case 5:
+			n := rng.Int63n(1 << 40)
+			a.addInt64(n)
+			check("addInt64", &a, ra.Add(ra, new(big.Rat).SetInt64(n)))
+		default:
+			if got, want := a.cmp(&b), ra.Cmp(rb); got != want {
+				t.Fatalf("cmp: got %d want %d (%s vs %s)", got, want, ra.RatString(), rb.RatString())
+			}
+			if got, want := a.equal(&b), ra.Cmp(rb) == 0; got != want {
+				t.Fatalf("equal: got %v want %v", got, want)
+			}
+		}
+	}
+}

@@ -29,8 +29,9 @@ import (
 // sia:hotpath
 func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 	// Pass 1: validate and compute m, the LCM of |coeff(v)|.
-	// alloc: per-elimination LCM accumulator and one visitor closure
+	// alloc: per-elimination LCM accumulator, scratch and one visitor closure
 	m := big.NewInt(1)
+	var scratch big.Int
 	// alloc: one visitor closure per elimination
 	err := walkLeaves(f, func(leaf Formula) error {
 		switch x := leaf.(type) {
@@ -44,21 +45,34 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 			// Scaling the atom by its denominator LCM L makes every
 			// coefficient integral; v's becomes num(c)·L/den(c). Computing
 			// that number directly avoids cloning the whole term per atom.
-			c := x.T.Coeff(v)
-			// alloc: one scratch integer per atom mentioning v
-			a := new(big.Int).Mul(c.Num(), x.T.DenomLCM())
-			a.Quo(a, c.Denom()).Abs(a)
+			if a, ok := x.T.scaledCoeffAbs64(v); ok {
+				lcmInto(m, scratch.SetInt64(a))
+				return nil
+			}
+			c := x.T.at(v)
+			// alloc: scratch integers per over-int64 atom; slow path by design
+			a := c.numBig()
+			a.Mul(a, x.T.DenomLCM())
+			a.Quo(a, c.denomBig()).Abs(a)
 			lcmInto(m, a)
 		case *Div:
 			if !x.T.Has(v) {
 				return nil
 			}
-			c := x.T.Coeff(v)
-			if !c.IsInt() {
+			c := x.T.at(v)
+			if !c.isInt() {
 				return fmt.Errorf("smt: non-integer coefficient in divisibility atom %s", x)
 			}
-			// alloc: one scratch integer per divisibility atom
-			lcmInto(m, new(big.Int).Abs(c.Num()))
+			if n, ok := c.num64(); ok {
+				if n < 0 {
+					n = -n
+				}
+				lcmInto(m, scratch.SetInt64(n))
+				return nil
+			}
+			// alloc: one scratch integer per over-int64 divisibility atom
+			a := c.numBig()
+			lcmInto(m, a.Abs(a))
 		default:
 			// walkLeaves yields only Atom and Div leaves.
 		}
@@ -79,8 +93,7 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 				return leaf, nil
 			}
 			t := x.T.Clone()
-			// alloc: per-atom scaling factor
-			t.Scale(new(big.Rat).SetInt(t.DenomLCM()))
+			clearDenominators(t)
 			op := x.Op
 			if op == OpLE {
 				// Integer atoms: t <= 0  ==  t - 1 < 0.
@@ -88,31 +101,41 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 				t.AddInt64(-1)
 			}
 			// Scale so coeff(v) becomes ±m, then swap m·v for y.
-			a := t.Coeff(v).Num()
-			// alloc: per-atom scaling factor m/|a|
-			k := new(big.Rat).SetFrac(new(big.Int).Quo(m, new(big.Int).Abs(a)), bigOne)
-			t.Scale(k)
-			sign := t.Coeff(v).Sign()
-			// alloc: y's unit coefficient in the rewritten atom
-			t.coeffs[y] = big.NewRat(int64(sign), 1)
-			delete(t.coeffs, v)
+			if n, ok := t.at(v).num64(); ok && m.IsInt64() {
+				if n < 0 {
+					n = -n
+				}
+				var k coef
+				k.setInt64(m.Int64() / n)
+				t.scaleCoef(&k)
+			} else {
+				// alloc: per-atom scaling factor m/|a|; over-int64 slow path
+				a := t.at(v).numBig()
+				// alloc: scale factor materialization; over-int64 slow path
+				t.Scale(new(big.Rat).SetFrac(new(big.Int).Quo(m, a.Abs(a)), bigOne))
+			}
+			sign := t.at(v).sign()
+			// alloc: substituting y for v opens one cell in the atom's term
+			t.setCoefInt64(y, int64(sign))
+			t.remove(v)
 			return expandIntAtom(op, t, y), nil
 		case *Div:
 			if !x.T.Has(v) {
 				return leaf, nil
 			}
 			t := x.T.Clone()
-			a := t.Coeff(v).Num()
+			a := t.at(v).numBig()
 			// alloc: per-atom scaling factor and scaled modulus
-			k := new(big.Int).Quo(m, new(big.Int).Abs(a))
-			// alloc: per-atom scaling factor
-			t.Scale(new(big.Rat).SetInt(k))
+			k := new(big.Int).Quo(m, a.Abs(a))
+			var kc coef
+			kc.setBigInt(k)
+			t.scaleCoef(&kc)
 			// alloc: per-atom scaled modulus
 			mod := new(big.Int).Mul(x.M, k)
-			sign := t.Coeff(v).Sign()
-			// alloc: y's unit coefficient in the rewritten atom
-			t.coeffs[y] = big.NewRat(int64(sign), 1)
-			delete(t.coeffs, v)
+			sign := t.at(v).sign()
+			// alloc: substituting y for v opens one cell in the atom's term
+			t.setCoefInt64(y, int64(sign))
+			t.remove(v)
 			if sign < 0 {
 				t.Neg() // d | t  ==  d | -t
 			}
@@ -149,20 +172,20 @@ func (s *Solver) eliminateInt(v Var, f Formula) (Formula, error) {
 				return fmt.Errorf("smt: internal: unexpected %s atom on %s", x.Op, y)
 			}
 			rest := x.T.Clone()
-			delete(rest.coeffs, y)
-			if x.T.Coeff(y).Sign() > 0 {
+			rest.remove(y)
+			if x.T.at(y).sign() > 0 {
 				// y + r < 0, i.e. y < -r: upper bound -r.
 				rest.Neg()
-				if !upperSeen[rest.String()] {
+				if key := rest.String(); !upperSeen[key] {
 					// alloc: dedup table grows once per distinct bound
-					upperSeen[rest.String()] = true
+					upperSeen[key] = true
 					uppers = append(uppers, rest)
 				}
 			} else {
 				// -y + r < 0, i.e. r < y: lower bound r.
-				if !lowerSeen[rest.String()] {
+				if key := rest.String(); !lowerSeen[key] {
 					// alloc: dedup table grows once per distinct bound
-					lowerSeen[rest.String()] = true
+					lowerSeen[key] = true
 					lowers = append(lowers, rest)
 				}
 			}
@@ -243,7 +266,7 @@ func expandIntAtom(op AtomOp, t *Term, y Var) Formula {
 		return &Atom{Op: OpLT, T: t}
 	case OpEQ, OpNE:
 		// Normalize the coefficient of y to +1 (t = 0 iff -t = 0).
-		if t.Coeff(y).Sign() < 0 {
+		if t.at(y).sign() < 0 {
 			t = t.Clone().Neg()
 		}
 		if op == OpEQ {
@@ -275,7 +298,7 @@ func substInfinity(f Formula, y Var, j int64, useLower bool) Formula {
 			if !x.T.Has(y) {
 				return leaf, nil
 			}
-			if x.T.Coeff(y).Sign() > 0 {
+			if x.T.at(y).sign() > 0 {
 				// Upper bound y < t: true at -∞, false at +∞.
 				return Bool(useLower), nil
 			}

@@ -176,6 +176,27 @@ func univariateCandidates(v Var, f Formula, spread int64) ([]*big.Rat, error) {
 		// (0, +1, -1, +2, -2, …) round-robin across the base points, so
 		// the first models drawn sit at the bounds and near zero rather
 		// than at one arbitrary end of the scan window.
+		if base64, ok := intBases64(base, dn); ok {
+			// Same values in the same order as the slow loop below, but
+			// dedup runs on int64 keys and only kept candidates
+			// materialize a big.Rat.
+			seen64 := make(map[int64]bool, len(base64))
+			push64 := func(n int64) {
+				if !seen64[n] {
+					seen64[n] = true
+					candidates = append(candidates, new(big.Rat).SetInt64(n))
+				}
+			}
+			for j := int64(0); j <= dn; j++ {
+				for _, b := range base64 {
+					push64(b + j)
+					if j != 0 {
+						push64(b - j)
+					}
+				}
+			}
+			return candidates, nil
+		}
 		for j := int64(0); j <= dn; j++ {
 			for _, b := range base {
 				push(new(big.Rat).Add(b, new(big.Rat).SetInt64(j)))
@@ -198,4 +219,28 @@ func univariateCandidates(v Var, f Formula, spread int64) ([]*big.Rat, error) {
 		}
 	}
 	return candidates, nil
+}
+
+// intBases64 extracts the base points as int64 values when every one is an
+// integer far enough from the int64 edges that adding or subtracting
+// offsets up to dn+1 cannot overflow. It is the gate for the allocation-
+// free candidate loops in univariateCandidates and solveUnivariate.
+func intBases64(base []*big.Rat, dn int64) ([]int64, bool) {
+	const margin = int64(1) << 61
+	if dn >= margin {
+		return nil, false
+	}
+	// alloc: one int64 per base point; the fast path's working set
+	out := make([]int64, len(base))
+	for i, b := range base {
+		if !b.IsInt() || !b.Num().IsInt64() {
+			return nil, false
+		}
+		n := b.Num().Int64()
+		if n > margin || n < -margin {
+			return nil, false
+		}
+		out[i] = n
+	}
+	return out, true
 }

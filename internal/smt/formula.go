@@ -50,21 +50,53 @@ func (op AtomOp) String() string {
 	case OpNE:
 		return "!="
 	default:
+		// alloc: unreachable for valid operators; diagnostic rendering only
 		return fmt.Sprintf("AtomOp(%d)", int(op))
 	}
 }
 
 // Atom asserts T Op 0.
+//
+// An interned atom (see Intern) is frozen: its rendering and the canonical
+// key of its complement are cached, and its term is frozen too.
 type Atom struct {
 	Op AtomOp
 	T  *Term
+
+	// Interning metadata, set once under the intern shard lock before the
+	// atom is published; read-only afterwards. str caches the display
+	// rendering, key the sort-qualified interner key, negKey the canonical
+	// display key of the complement. canon marks leaves published by the
+	// simplifier's canonicalizers (internLeaf): they are Simplify fixed
+	// points, so Simplify returns them unchanged without re-deriving the
+	// canonical form.
+	frozen bool
+	canon  bool
+	str    string
+	key    string
+	negKey string
 }
 
 func (*Atom) formula() {}
 
 // String renders the atom; used by the eliminators as a dedup key.
-// alloc: string building is the product.
-func (a *Atom) String() string { return fmt.Sprintf("%s %s 0", a.T, a.Op) }
+// Interned atoms return the cached rendering.
+// alloc: string building is the product on the uncached path.
+func (a *Atom) String() string {
+	if a.frozen {
+		return a.str
+	}
+	return string(a.appendString(nil))
+}
+
+// alloc: display rendering grows the caller's buffer; interned atoms pay
+// it once and serve the cached string afterwards.
+func (a *Atom) appendString(b []byte) []byte {
+	b = a.T.appendString(b)
+	b = append(b, ' ')
+	b = append(b, a.Op.String()...)
+	return append(b, " 0"...)
+}
 
 // Div asserts M | T (M divides the value of T), or its negation when Neg is
 // set. T must be integer-valued; Div atoms are only produced internally by
@@ -73,71 +105,141 @@ type Div struct {
 	Neg bool
 	M   *big.Int
 	T   *Term
+
+	// Interning metadata; see Atom.
+	frozen bool
+	canon  bool
+	str    string
+	key    string
 }
 
 func (*Div) formula() {}
 
-// String renders the divisibility atom.
-// alloc: string building is the product.
+// String renders the divisibility atom. Interned divisibility atoms return
+// the cached rendering.
+// alloc: string building is the product on the uncached path.
 func (d *Div) String() string {
-	if d.Neg {
-		return fmt.Sprintf("!(%s | %s)", d.M, d.T)
+	if d.frozen {
+		return d.str
 	}
-	return fmt.Sprintf("(%s | %s)", d.M, d.T)
+	return string(d.appendString(nil))
+}
+
+// alloc: display rendering grows the caller's buffer; interned atoms pay
+// it once and serve the cached string afterwards.
+func (d *Div) appendString(b []byte) []byte {
+	if d.Neg {
+		b = append(b, '!')
+	}
+	b = append(b, '(')
+	b = append(b, d.M.String()...)
+	b = append(b, " | "...)
+	b = d.T.appendString(b)
+	return append(b, ')')
 }
 
 // And is an n-ary conjunction.
 type And struct {
 	Fs []Formula
+
+	// Interning metadata; see Atom.
+	frozen bool
+	str    string
+	key    string
 }
 
 func (*And) formula() {}
 
-func (a *And) String() string { return joinFormulas(a.Fs, " & ", "true") }
+func (a *And) String() string {
+	if a.frozen {
+		return a.str
+	}
+	return joinFormulas(a.Fs, " & ", "true")
+}
 
 // Or is an n-ary disjunction.
 type Or struct {
 	Fs []Formula
+
+	// Interning metadata; see Atom.
+	frozen bool
+	str    string
+	key    string
 }
 
 func (*Or) formula() {}
 
-func (o *Or) String() string { return joinFormulas(o.Fs, " | ", "false") }
+func (o *Or) String() string {
+	if o.frozen {
+		return o.str
+	}
+	return joinFormulas(o.Fs, " | ", "false")
+}
 
 // Not negates a formula.
 type Not struct {
 	F Formula
+
+	// Interning metadata; see Atom.
+	frozen bool
+	str    string
+	key    string
 }
 
 func (*Not) formula() {}
 
 // String renders the negation.
-// alloc: string building is the product.
-func (n *Not) String() string { return "!(" + n.F.String() + ")" }
+// alloc: string building is the product on the uncached path.
+func (n *Not) String() string {
+	if n.frozen {
+		return n.str
+	}
+	return "!(" + n.F.String() + ")"
+}
 
 // Exists existentially quantifies a variable.
 type Exists struct {
 	V Var
 	F Formula
+
+	// Interning metadata; see Atom.
+	frozen bool
+	str    string
+	key    string
 }
 
 func (*Exists) formula() {}
 
 // String renders the quantifier.
-// alloc: string building is the product.
-func (e *Exists) String() string { return fmt.Sprintf("exists %s:%s. (%s)", e.V.Name, e.V.Sort, e.F) }
+// alloc: string building is the product on the uncached path.
+func (e *Exists) String() string {
+	if e.frozen {
+		return e.str
+	}
+	return fmt.Sprintf("exists %s:%s. (%s)", e.V.Name, e.V.Sort, e.F)
+}
 
 // ForAll universally quantifies a variable.
 type ForAll struct {
 	V Var
 	F Formula
+
+	// Interning metadata; see Atom.
+	frozen bool
+	str    string
+	key    string
 }
 
 func (*ForAll) formula() {}
 
 // String renders the quantifier.
-// alloc: string building is the product.
-func (f *ForAll) String() string { return fmt.Sprintf("forall %s:%s. (%s)", f.V.Name, f.V.Sort, f.F) }
+// alloc: string building is the product on the uncached path.
+func (f *ForAll) String() string {
+	if f.frozen {
+		return f.str
+	}
+	return fmt.Sprintf("forall %s:%s. (%s)", f.V.Name, f.V.Sort, f.F)
+}
 
 // joinFormulas renders an n-ary connective.
 // alloc: string building is the product.
@@ -249,23 +351,79 @@ func diff(a, b *Term) *Term { return a.Clone().AddScaled(b, big.NewRat(-1, 1)) }
 // alloc: formula construction is the product.
 func newAtom(op AtomOp, t *Term) Formula {
 	if t.IsConst() {
-		return Bool(evalAtomConst(op, t.Const()))
+		// Only the sign of the constant matters; skip the big.Rat copy.
+		return Bool(evalAtomSign(op, t.konst.sign()))
 	}
 	return &Atom{Op: op, T: t}
 }
 
-func evalAtomConst(op AtomOp, c *big.Rat) bool {
+func evalAtomConst(op AtomOp, c *big.Rat) bool { return evalAtomSign(op, c.Sign()) }
+
+// evalAtomSign decides op against the sign of the (constant) term.
+func evalAtomSign(op AtomOp, s int) bool {
 	switch op {
 	case OpLT:
-		return c.Sign() < 0
+		return s < 0
 	case OpLE:
-		return c.Sign() <= 0
+		return s <= 0
 	case OpEQ:
-		return c.Sign() == 0
+		return s == 0
 	case OpNE:
-		return c.Sign() != 0
+		return s != 0
 	default:
 		panic("smt: bad atom op")
+	}
+}
+
+// FormulaEqual reports whether two formulas are structurally identical.
+// Interned nodes compare by pointer first.
+func FormulaEqual(a, b Formula) bool {
+	if a == b {
+		return true
+	}
+	switch x := a.(type) {
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case *Atom:
+		y, ok := b.(*Atom)
+		return ok && x.Op == y.Op && x.T.Equal(y.T)
+	case *Div:
+		y, ok := b.(*Div)
+		return ok && x.Neg == y.Neg && x.M.Cmp(y.M) == 0 && x.T.Equal(y.T)
+	case *And:
+		y, ok := b.(*And)
+		if !ok || len(x.Fs) != len(y.Fs) {
+			return false
+		}
+		for i := range x.Fs {
+			if !FormulaEqual(x.Fs[i], y.Fs[i]) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		y, ok := b.(*Or)
+		if !ok || len(x.Fs) != len(y.Fs) {
+			return false
+		}
+		for i := range x.Fs {
+			if !FormulaEqual(x.Fs[i], y.Fs[i]) {
+				return false
+			}
+		}
+		return true
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && FormulaEqual(x.F, y.F)
+	case *Exists:
+		y, ok := b.(*Exists)
+		return ok && x.V == y.V && FormulaEqual(x.F, y.F)
+	case *ForAll:
+		y, ok := b.(*ForAll)
+		return ok && x.V == y.V && FormulaEqual(x.F, y.F)
+	default:
+		panic(fmt.Sprintf("smt: unknown formula %T", a))
 	}
 }
 
@@ -340,12 +498,12 @@ func Subst(f Formula, v Var, repl *Term) Formula {
 		if !x.T.Has(v) {
 			return x
 		}
-		return newAtom(x.Op, x.T.Clone().Subst(v, repl))
+		return newAtom(x.Op, substTermCopy(x.T, v, repl))
 	case *Div:
 		if !x.T.Has(v) {
 			return x
 		}
-		return simplifyDiv(&Div{Neg: x.Neg, M: x.M, T: x.T.Clone().Subst(v, repl)})
+		return simplifyDiv(&Div{Neg: x.Neg, M: x.M, T: substTermCopy(x.T, v, repl)})
 	case *And:
 		fs := make([]Formula, 0, len(x.Fs))
 		for _, g := range x.Fs {
@@ -376,15 +534,25 @@ func Subst(f Formula, v Var, repl *Term) Formula {
 }
 
 // simplifyDiv folds a divisibility atom whose term is constant.
-// alloc: one scratch integer for the modulus check.
 func simplifyDiv(d *Div) Formula {
 	if !d.T.IsConst() {
 		return d
 	}
-	c := d.T.Const()
 	holds := false
-	if c.IsInt() {
-		m := new(big.Int).Mod(c.Num(), d.M)
+	k := &d.T.konst
+	if k.r == nil {
+		if k.denom() == 1 {
+			if d.M.IsInt64() {
+				holds = k.num%d.M.Int64() == 0
+			} else {
+				// |M| exceeds int64 while the numerator fits it, so the
+				// only multiple of M in range is zero.
+				holds = k.num == 0
+			}
+		}
+	} else if k.r.IsInt() {
+		// alloc: one scratch integer for the over-int64 modulus check
+		m := new(big.Int).Mod(k.r.Num(), d.M)
 		holds = m.Sign() == 0
 	}
 	return Bool(holds != d.Neg)

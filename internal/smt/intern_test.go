@@ -1,0 +1,123 @@
+package smt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// genTerm builds a fresh random term over a small variable pool. Calling
+// it twice with identically seeded generators yields structurally equal
+// but pointer-distinct values.
+func genTerm(rng *rand.Rand, vars []Var) *Term {
+	t := NewTerm(big.NewRat(int64(rng.Intn(9)-4), int64(rng.Intn(3)+1)))
+	for _, v := range vars {
+		if rng.Intn(2) == 0 {
+			t.AddVar(v, big.NewRat(int64(rng.Intn(7)-3), 1))
+		}
+	}
+	return t
+}
+
+func genFormula(rng *rand.Rand, vars []Var, depth int) Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		ops := []AtomOp{OpLT, OpLE, OpEQ, OpNE}
+		return &Atom{Op: ops[rng.Intn(len(ops))], T: genTerm(rng, vars)}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &And{Fs: []Formula{genFormula(rng, vars, depth-1), genFormula(rng, vars, depth-1)}}
+	case 1:
+		return &Or{Fs: []Formula{genFormula(rng, vars, depth-1), genFormula(rng, vars, depth-1)}}
+	case 2:
+		return &Not{F: genFormula(rng, vars, depth-1)}
+	default:
+		return &Div{Neg: rng.Intn(2) == 0, M: big.NewInt(int64(rng.Intn(5) + 2)), T: genTerm(rng, vars)}
+	}
+}
+
+// TestInternCanonical is the interner's core property: Intern(a) and
+// Intern(b) return the same pointer exactly when a and b are structurally
+// equal. The formula count stays far below the shard cap so no reset can
+// rotate canonical pointers mid-test.
+func TestInternCanonical(t *testing.T) {
+	vars := []Var{IntVar("x"), IntVar("y"), RealVar("r")}
+	const n = 120
+	seeds := make([]int64, n)
+	orig := make([]Formula, n)
+	interned := make([]Formula, n)
+	for i := range seeds {
+		seeds[i] = int64(i % 40) // forced duplicates across the pool
+		rng := rand.New(rand.NewSource(seeds[i]))
+		orig[i] = genFormula(rng, vars, 3)
+		// Intern a separately built copy, so Intern never sees the
+		// original pointer and must match by structure alone.
+		rng = rand.New(rand.NewSource(seeds[i]))
+		interned[i] = Intern(genFormula(rng, vars, 3))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			eq := FormulaEqual(orig[i], orig[j])
+			same := interned[i] == interned[j]
+			if eq != same {
+				t.Fatalf("equal=%v pointerEqual=%v for\n  %s\n  %s", eq, same, orig[i], orig[j])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !FormulaEqual(orig[i], interned[i]) {
+			t.Fatalf("interned formula differs structurally:\n  %s\n  %s", orig[i], interned[i])
+		}
+		if orig[i].String() != interned[i].String() {
+			t.Fatalf("interning changed the rendering: %q vs %q", orig[i], interned[i])
+		}
+	}
+}
+
+// TestInternSortsDistinguished pins the regression where the intern key
+// dropped variable sorts: an integer x and a real x render identically but
+// must never share a canonical node.
+func TestInternSortsDistinguished(t *testing.T) {
+	fi := LT(VarTerm(IntVar("x")), ConstTerm(0))
+	fr := LT(VarTerm(RealVar("x")), ConstTerm(0))
+	ai, ar := Intern(fi), Intern(fr)
+	if ai == ar {
+		t.Fatalf("int and real atoms interned to one node: %s", ai)
+	}
+	ti := InternTerm(VarTerm(IntVar("y")))
+	tr := InternTerm(VarTerm(RealVar("y")))
+	if ti == tr {
+		t.Fatal("int and real terms interned to one node")
+	}
+}
+
+// TestCoefFastPathAllocs guards the int64 fast path: arithmetic on
+// small-magnitude coefficients must not allocate.
+func TestCoefFastPathAllocs(t *testing.T) {
+	var a, b coef
+	if avg := testing.AllocsPerRun(200, func() {
+		a.setFrac64(7, 3)
+		b.setFrac64(-5, 6)
+		a.add(&b)
+		a.mul(&b)
+		a.addInt64(11)
+		a.neg()
+		if a.isZero() {
+			t.Fatal("unexpected zero")
+		}
+	}); avg != 0 {
+		t.Fatalf("coef fast path allocates: %.1f allocs/op", avg)
+	}
+}
+
+// TestTermAddInt64Allocs guards the in-place constant bump used by integer
+// tightening in the canonicalizer.
+func TestTermAddInt64Allocs(t *testing.T) {
+	tm := ConstTerm(3)
+	if avg := testing.AllocsPerRun(200, func() {
+		tm.AddInt64(1)
+		tm.AddInt64(-1)
+	}); avg != 0 {
+		t.Fatalf("Term.AddInt64 fast path allocates: %.1f allocs/op", avg)
+	}
+}

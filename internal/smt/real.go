@@ -49,7 +49,7 @@ func (s *Solver) eliminateReal(v Var, f Formula) (Formula, error) {
 			a := x.T.Coeff(v)
 			// Solve the atom for v: v ⋈ s with s = -rest/a.
 			rest := x.T.Clone()
-			delete(rest.coeffs, v)
+			rest.remove(v)
 			// alloc: one reciprocal per bound atom
 			bound := rest.Neg().Scale(new(big.Rat).Inv(a))
 			key := bound.String()

@@ -11,6 +11,10 @@ import (
 // AND/OR collapse, and a child together with its complement collapses the
 // whole connective. Simplify is applied after every quantifier-elimination
 // step to keep intermediate formulas tractable.
+//
+// Simplified atoms and divisibility constraints are interned: structurally
+// equal leaves come back as one shared, frozen node whose canonical string
+// is cached, which is what makes the dedup keys below cheap.
 // alloc: rebuilds the simplified tree; the result is usually smaller than
 // the input and growth is bounded by the eliminator's maxNodes budget.
 func Simplify(f Formula) Formula {
@@ -18,8 +22,16 @@ func Simplify(f Formula) Formula {
 	case Bool:
 		return x
 	case *Atom:
+		if x.canon {
+			// Published by a canonicalizer: already a Simplify fixed point.
+			return x
+		}
 		return canonAtom(x.Op, x.T.Clone())
 	case *Div:
+		if x.canon {
+			// Published by a canonicalizer: already a Simplify fixed point.
+			return x
+		}
 		return canonDiv(x)
 	case *And:
 		return simplifyJunction(x.Fs, true)
@@ -35,7 +47,7 @@ func Simplify(f Formula) Formula {
 			return n
 		}
 		if d, ok := inner.(*Div); ok {
-			return &Div{Neg: !d.Neg, M: d.M, T: d.T}
+			return internLeaf(&Div{Neg: !d.Neg, M: d.M, T: d.T})
 		}
 		return NewNot(inner)
 	case *Exists:
@@ -100,25 +112,27 @@ func occurs(v Var, f Formula) bool {
 // relations (=, !=) the first variable's coefficient is made positive. All
 // scalings are by positive rationals, so the relation is preserved. If the
 // term has integer variables only and integer coefficients, a strict
-// inequality t < 0 is tightened to t + 1 <= 0.
-// alloc: scratch rationals for the canonical scaling; the canonical atom
-// is the product.
+// inequality t < 0 is tightened to t + 1 <= 0. The result is interned.
+// alloc: the canonical atom is the product; the scalings stay on the coef
+// fast path for int64-sized coefficients.
 func canonAtom(op AtomOp, t *Term) Formula {
+	return internLeaf(canonAtomRaw(op, t))
+}
+
+// canonAtomRaw is canonAtom without the interning step; negAtomKey uses it
+// to render a complement's canonical form without publishing a node (doing
+// so from inside the interner would re-enter it).
+func canonAtomRaw(op AtomOp, t *Term) Formula {
 	if t.IsConst() {
-		return Bool(evalAtomConst(op, t.Const()))
+		return Bool(evalAtomSign(op, t.konst.sign()))
 	}
-	// Clear denominators and divide by content.
-	scale := new(big.Rat).SetInt(t.DenomLCM())
-	t.Scale(scale)
-	content := contentGCD(t)
-	if content.Cmp(bigOne) != 0 {
-		t.Scale(new(big.Rat).SetFrac(bigOne, content))
-	}
+	clearDenominators(t)
+	divideContent(t)
 	// For =, != flip sign so the lexicographically first variable has a
 	// positive coefficient, giving syntactically equal canonical forms.
 	if op == OpEQ || op == OpNE {
 		vars := t.Vars(nil)
-		if len(vars) > 0 && t.Coeff(vars[0]).Sign() < 0 {
+		if len(vars) > 0 && t.at(vars[0]).sign() < 0 {
 			t.Neg()
 		}
 	}
@@ -135,11 +149,8 @@ func canonAtom(op AtomOp, t *Term) Formula {
 		case OpLE:
 			t = tightenIntLE(t)
 		case OpEQ, OpNE:
-			g := varCoeffGCD(t)
-			if g.Cmp(bigOne) > 0 {
-				t.Scale(new(big.Rat).SetFrac(bigOne, g))
-			}
-			if !t.Const().IsInt() {
+			divideVarGCD(t)
+			if !t.konst.isInt() {
 				// Integer combination can never equal a fraction.
 				return Bool(op == OpNE)
 			}
@@ -148,12 +159,129 @@ func canonAtom(op AtomOp, t *Term) Formula {
 	return newAtom(op, t)
 }
 
-// varCoeffGCD returns the GCD of the (integer) variable coefficients.
-// alloc: scratch integers for the GCD accumulation.
-func varCoeffGCD(t *Term) *big.Int {
+// clearDenominators scales t by the LCM of its denominators so every
+// coefficient and the constant become integers. No-op for the common
+// all-integer case.
+func clearDenominators(t *Term) {
+	if allIntRat(t) {
+		return
+	}
+	if l, ok := t.denomLCM64(); ok {
+		var k coef
+		k.setInt64(l)
+		t.scaleCoef(&k)
+		return
+	}
+	// alloc: big-integer LCM scaling; the over-int64 slow path
+	t.Scale(new(big.Rat).SetInt(t.DenomLCM()))
+}
+
+// divideContent divides t by the GCD of the numerators of all coefficients
+// and the constant (denominators already cleared).
+func divideContent(t *Term) {
+	if g, ok := contentGCD64(t); ok {
+		if g > 1 {
+			var k coef
+			k.setFrac64(1, g)
+			t.scaleCoef(&k)
+		}
+		return
+	}
+	content := contentGCDBig(t)
+	if content.Cmp(bigOne) != 0 {
+		// alloc: big-integer content division; the over-int64 slow path
+		t.Scale(new(big.Rat).SetFrac(bigOne, content))
+	}
+}
+
+// contentGCD64 is divideContent's fast path: the GCD of all numerators when
+// every one fits int64. GCD is commutative, so map iteration order cannot
+// reach the result.
+func contentGCD64(t *Term) (int64, bool) {
+	var g int64
+	for i := range t.cells {
+		n, ok := t.cells[i].c.num64()
+		if !ok {
+			return 0, false
+		}
+		g = gcd64(g, n)
+	}
+	n, ok := t.konst.num64()
+	if !ok {
+		return 0, false
+	}
+	if g = gcd64(g, n); g == 0 {
+		g = 1
+	}
+	return g, true
+}
+
+// contentGCDBig is the arbitrary-precision fallback of divideContent.
+// alloc: scratch integers for the GCD accumulation; slow path by design.
+func contentGCDBig(t *Term) *big.Int {
 	g := new(big.Int)
-	for _, v := range t.Vars(nil) {
-		n := new(big.Int).Abs(t.Coeff(v).Num())
+	acc := func(n *big.Int) {
+		// memo: numBig hands over a fresh big.Int; Abs mutates that
+		// caller-owned scratch value only.
+		n.Abs(n)
+		if n.Sign() != 0 {
+			if g.Sign() == 0 {
+				g.Set(n)
+			} else {
+				g.GCD(nil, nil, g, n)
+			}
+		}
+	}
+	for i := range t.cells {
+		acc(t.cells[i].c.numBig())
+	}
+	acc(t.konst.numBig())
+	if g.Sign() == 0 {
+		g.SetInt64(1)
+	}
+	return g
+}
+
+// divideVarGCD divides t by the GCD of its (integer) variable coefficients.
+func divideVarGCD(t *Term) {
+	if g, ok := varCoeffGCD64(t); ok {
+		if g > 1 {
+			var k coef
+			k.setFrac64(1, g)
+			t.scaleCoef(&k)
+		}
+		return
+	}
+	g := varCoeffGCDBig(t)
+	if g.Cmp(bigOne) > 0 {
+		// alloc: big-integer GCD division; the over-int64 slow path
+		t.Scale(new(big.Rat).SetFrac(bigOne, g))
+	}
+}
+
+// varCoeffGCD64 is divideVarGCD's fast path over int64 numerators.
+func varCoeffGCD64(t *Term) (int64, bool) {
+	var g int64
+	for i := range t.cells {
+		n, ok := t.cells[i].c.num64()
+		if !ok {
+			return 0, false
+		}
+		g = gcd64(g, n)
+	}
+	if g == 0 {
+		g = 1
+	}
+	return g, true
+}
+
+// varCoeffGCDBig is the arbitrary-precision fallback of divideVarGCD.
+// alloc: scratch integers for the GCD accumulation; slow path by design.
+func varCoeffGCDBig(t *Term) *big.Int {
+	g := new(big.Int)
+	for i := range t.cells {
+		n := t.cells[i].c.numBig()
+		n.Abs(n)
 		if g.Sign() == 0 {
 			g.Set(n)
 		} else {
@@ -168,76 +296,64 @@ func varCoeffGCD(t *Term) *big.Int {
 
 // tightenIntLE rewrites g·s + c <= 0 (integer-valued s, integer coefficient
 // GCD g) as s - floor(-c/g) <= 0, the tightest integer bound.
-// alloc: one scratch rational for the 1/g scaling.
 func tightenIntLE(t *Term) *Term {
-	g := varCoeffGCD(t)
-	if g.Cmp(bigOne) > 0 {
-		t.Scale(new(big.Rat).SetFrac(bigOne, g))
-	}
+	divideVarGCD(t)
 	return roundIntAtomLE(t)
 }
 
 // intCoeffs reports whether every variable coefficient is an integer (the
 // constant may still be fractional).
 func intCoeffs(t *Term) bool {
-	for _, v := range t.Vars(nil) {
-		if !t.Coeff(v).IsInt() {
+	for i := range t.cells {
+		if !t.cells[i].c.isInt() {
 			return false
 		}
 	}
 	return true
 }
 
+// floorDiv64 returns floor(a/b) for b > 0.
+func floorDiv64(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
 // roundIntAtomLE tightens t <= 0 where all variable parts are integral:
 // sum + c <= 0  ==  sum <= floor(-c)  ==  sum - floor(-c) <= 0.
-// alloc: scratch integers for the floor computation.
 func roundIntAtomLE(t *Term) *Term {
-	c := t.Const()
-	if c.IsInt() {
+	if t.konst.isInt() {
 		return t
 	}
-	negC := new(big.Rat).Neg(c)
+	if n, okN := t.konst.num64(); okN {
+		if d, okD := t.konst.den64(); okD {
+			t.konst.setInt64(-floorDiv64(-n, d))
+			return t
+		}
+	}
+	// alloc: scratch integers for the floor computation; slow path by design.
+	negC := new(big.Rat).Neg(t.konst.rat())
+	// alloc: floor quotient scratch; slow path by design
 	fl := new(big.Int).Quo(negC.Num(), negC.Denom())
 	// big.Int Quo truncates toward zero; adjust to floor for negatives.
 	if negC.Sign() < 0 {
+		// alloc: remainder scratch for the floor adjustment; slow path
 		r := new(big.Int).Rem(negC.Num(), negC.Denom())
 		if r.Sign() != 0 {
 			fl.Sub(fl, bigOne)
 		}
 	}
-	t.konst.SetInt(new(big.Int).Neg(fl))
+	t.konst.setBigInt(fl.Neg(fl))
 	return t
 }
 
-// contentGCD returns the GCD of the numerators of all coefficients and the
-// constant, assuming denominators are already cleared. Returns 1 if the
-// term is zero apart from signs.
-// alloc: scratch integers and one accumulator closure per call.
-func contentGCD(t *Term) *big.Int {
-	g := new(big.Int)
-	acc := func(r *big.Rat) {
-		n := new(big.Int).Abs(r.Num())
-		if n.Sign() != 0 {
-			if g.Sign() == 0 {
-				g.Set(n)
-			} else {
-				g.GCD(nil, nil, g, n)
-			}
-		}
-	}
-	for _, v := range t.Vars(nil) {
-		acc(t.Coeff(v))
-	}
-	acc(t.Const())
-	if g.Sign() == 0 {
-		g.SetInt64(1)
-	}
-	return g
-}
-
 // canonDiv canonicalizes a divisibility atom: the term's coefficients and
-// constant are reduced modulo M, and ground instances fold to Bool.
-// alloc: the reduced atom and its modulus scratch are the product.
+// constant are reduced modulo M, and ground instances fold to Bool. The
+// result is interned.
+// alloc: the reduced atom is the product; the modular reductions stay on
+// the coef fast path for int64-sized values.
 func canonDiv(d *Div) Formula {
 	if d.M.Cmp(bigOne) == 0 {
 		return Bool(!d.Neg)
@@ -246,28 +362,52 @@ func canonDiv(d *Div) Formula {
 	if !allIntRat(t) {
 		// Non-integer coefficients: leave untouched (only produced by
 		// pathological inputs; correctness is preserved).
-		return &Div{Neg: d.Neg, M: d.M, T: t}
+		return internLeaf(&Div{Neg: d.Neg, M: d.M, T: t})
 	}
-	for _, v := range t.Vars(nil) {
-		c := t.coeffs[v]
-		mod := new(big.Int).Mod(c.Num(), d.M)
-		if mod.Sign() == 0 {
-			delete(t.coeffs, v)
-		} else {
-			c.SetInt(mod)
+	m, mFast := d.M.Int64(), d.M.IsInt64() && fastOK(d.M.Int64())
+	// modCoef reduces c modulo M in place; reports whether it became zero.
+	modCoef := func(c *coef) bool {
+		if n, ok := c.num64(); ok && mFast {
+			r := n % m
+			if r < 0 {
+				r += m
+			}
+			if r == 0 {
+				return true
+			}
+			// memo: c is a coefficient of the locally cloned term t
+			c.setInt64(r)
+			return false
 		}
-	}
-	kmod := new(big.Int).Mod(t.konst.Num(), d.M)
-	t.konst.SetInt(kmod)
-	return simplifyDiv(&Div{Neg: d.Neg, M: d.M, T: t})
-}
-
-func allIntRat(t *Term) bool {
-	if !t.konst.IsInt() {
+		// alloc: big-integer modulus; the over-int64 slow path
+		mod := new(big.Int).Mod(c.numBig(), d.M)
+		if mod.Sign() == 0 {
+			return true
+		}
+		// memo: c is a coefficient of the locally cloned term t
+		c.setBigInt(mod)
 		return false
 	}
-	for _, v := range t.Vars(nil) {
-		if !t.Coeff(v).IsInt() {
+	kept := t.cells[:0]
+	for i := range t.cells {
+		if !modCoef(&t.cells[i].c) {
+			kept = append(kept, t.cells[i])
+		}
+	}
+	t.cells = kept
+	if modCoef(&t.konst) {
+		t.konst.setInt64(0)
+	}
+	return internLeaf(simplifyDiv(&Div{Neg: d.Neg, M: d.M, T: t}))
+}
+
+// allIntRat reports whether the constant and every coefficient are integers.
+func allIntRat(t *Term) bool {
+	if !t.konst.isInt() {
+		return false
+	}
+	for i := range t.cells {
+		if !t.cells[i].c.isInt() {
 			return false
 		}
 	}
@@ -276,6 +416,9 @@ func allIntRat(t *Term) bool {
 
 // simplifyJunction simplifies the children of an AND (isAnd) or OR,
 // deduplicates them syntactically, and detects complementary atom pairs.
+// Children coming out of Simplify are interned leaves or rebuilt
+// connectives, so the String() dedup keys are cached for the leaves that
+// dominate junction width.
 // alloc: the dedup table, visitor closure, and rebuilt child list are the
 // per-junction working set; bounded by the input's size.
 func simplifyJunction(fs []Formula, isAnd bool) Formula {
@@ -344,10 +487,22 @@ func simplifyJunction(fs []Formula, isAnd bool) Formula {
 
 // negAtomKey returns the canonical string of the atom's complement, so that
 // complement detection works against already-canonicalized siblings.
+// Interned atoms carry the complement key cached.
 func negAtomKey(a *Atom) string {
+	if a.frozen {
+		return a.negKey
+	}
+	return computeNegAtomKey(a)
+}
+
+// computeNegAtomKey canonicalizes and renders the atom's complement. It
+// must not publish interned nodes: internAtom calls it while interning the
+// complement's complement, so going through the interning canonAtom here
+// would recurse without end.
+func computeNegAtomKey(a *Atom) string {
 	n := negAtom(a)
 	if na, ok := n.(*Atom); ok {
-		n = canonAtom(na.Op, na.T.Clone())
+		n = canonAtomRaw(na.Op, na.T.Clone())
 	}
 	return n.String()
 }

@@ -5,8 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"sia/internal/cache/memo"
+	"sia/internal/obs"
 )
 
 // ErrBudget is returned (wrapped) when quantifier elimination exceeds the
@@ -54,11 +60,16 @@ type Solver struct {
 	// the Z3 timeout the paper configures ("the optimizer may use SIA
 	// with an explicit timeout", §6.2). 0 means no timeout.
 	Timeout time.Duration
+	// Tracer, when set, emits one qe_memo span (Outcome "hit" or "miss")
+	// per outermost quantifier elimination. A nil Tracer is free.
+	Tracer *obs.Tracer
 
-	Stats    Stats
-	freshID  int
-	ctx      context.Context
-	deadline time.Time
+	Stats     Stats
+	statsMu   sync.Mutex // guards Stats during parallel disjunct elimination
+	freshID   atomic.Int64
+	ctx       context.Context
+	deadline  time.Time
+	elimDepth atomic.Int32
 }
 
 // arm binds the caller's context and starts the timeout clock for a public
@@ -131,9 +142,9 @@ func (s *Solver) maxModulus() int {
 func (s *Solver) freshVar() Var {
 	// memo: the counter only keeps generated names distinct; eliminated
 	// variables never appear in results
-	s.freshID++
+	id := s.freshID.Add(1)
 	// alloc: one short name per eliminated quantifier
-	return Var{Name: fmt.Sprintf("$q%d", s.freshID), Sort: SortInt}
+	return Var{Name: fmt.Sprintf("$q%d", id), Sort: SortInt}
 }
 
 // QE returns a quantifier-free formula equivalent to f.
@@ -198,13 +209,63 @@ func (s *Solver) QECtx(ctx context.Context, f Formula) (Formula, error) {
 	}
 }
 
+// qeMemo caches the results of successful eliminations process-wide,
+// keyed by (variable sort, variable name, sort-qualified formula key).
+// Memoization is sound because elimination is deterministic given (v, f):
+// the solver's budgets only decide whether a call aborts early, never what
+// a completed call returns, and aborted calls are never cached. Entries
+// are immutable interned/simplified formulas shared by all solvers, under
+// the same clone-then-mutate discipline the interner enforces.
+var qeMemo = memo.New[string, Formula](qeMemoCap)
+
+// qeMemoCap bounds the elimination memo. A synthesis sweep issues tens
+// of thousands of eliminations but only ~10k distinct (v, f) keys, and
+// the CEGIS loop re-asks old keys across iterations, so the cap must
+// hold the whole working set: at 4096 the Table 2/3 workload thrashed
+// (≈5.8k evictions against 9.9k misses). 64k entries of small result
+// formulas keep residency in the tens of MB while making eviction the
+// exception.
+const qeMemoCap = 1 << 16
+
+// qeMemoKey renders the memo key for eliminating v from f. The formula
+// part is the interner's sort-qualified key, so same-named variables of
+// different sorts never share an entry.
+// alloc: key rendering; frozen formulas contribute their cached keys.
+func qeMemoKey(v Var, f Formula) string {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(v.Sort))
+	b = append(b, v.Name...)
+	b = append(b, '\x00')
+	b = appendFormulaKey(b, f)
+	return string(b)
+}
+
 // eliminate removes one existential variable from a quantifier-free
 // formula, dispatching on the variable's sort. Existentials distribute over
 // disjunction, which keeps intermediate formulas small when the input is
-// already a union of cases (as Cooper's output is).
+// already a union of cases (as Cooper's output is). Results of completed
+// eliminations are memoized in qeMemo; at the outermost level, independent
+// disjuncts are eliminated in parallel.
 //
 // sia:memoize
 func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
+	// memo: depth tracking and wall-time observation select only which
+	// metrics are recorded; results never depend on them.
+	depth := s.elimDepth.Add(1)
+	if depth == 1 {
+		// memo: wall clock feeds the latency metric only
+		start := time.Now()
+		defer func() {
+			// memo: depth tracking, metrics only
+			s.elimDepth.Add(-1)
+			// alloc: deferred metrics closure, once per outermost elimination
+			// memo: wall-time observation, metrics only
+			mQuerySeconds[opElimination].Observe(time.Since(start).Seconds())
+		}()
+	} else {
+		// memo: depth tracking, metrics only
+		defer s.elimDepth.Add(-1)
+	}
 	if err := s.checkStop(); err != nil {
 		return nil, err
 	}
@@ -212,10 +273,66 @@ func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
 	if !occurs(v, f) {
 		return f, nil
 	}
-	// memo: statistics counter; results do not depend on it
+	s.bumpEliminations()
+	key := qeMemoKey(v, f)
+	// memo: qeMemo lookups are semantically transparent — a hit returns
+	// exactly what the recomputation would; counters and spans are
+	// observability only.
+	if r, ok := qeMemo.Get(key); ok {
+		mQEMemoHits.Inc()
+		s.traceQEMemo(depth, "hit")
+		return r, nil
+	}
+	mQEMemoMisses.Inc()
+	s.traceQEMemo(depth, "miss")
+	r, err := s.eliminateUncached(depth, v, f)
+	if err != nil {
+		return nil, err
+	}
+	// A result assembled while the context was dying may be incomplete in
+	// ways the error plumbing has not surfaced yet at this level; caching
+	// it would poison every later call with the same key. Skip the store
+	// unless the call is still clean (sia_smt_qe_memo_skips_total).
+	if s.checkStop() != nil {
+		mQEMemoSkips.Inc()
+		return r, nil
+	}
+	// memo: storing the deterministic result under its key is invisible to
+	// every future answer; only recomputation is avoided.
+	if qeMemo.Add(key, r) {
+		mQEMemoEvictions.Inc()
+	}
+	return r, nil
+}
+
+// bumpEliminations counts one elimination request against the solver's
+// Stats and the process totals. Memo hits count too: Stats.Eliminations is
+// "elimination requests answered", and the memo counters break out how
+// many were served from cache.
+// memo: statistics counters; results never depend on them. The mutex only
+// serializes the per-solver counter against parallel disjunct workers.
+func (s *Solver) bumpEliminations() {
+	s.statsMu.Lock()
 	s.Stats.Eliminations++
+	s.statsMu.Unlock()
 	mEliminations.Inc()
+}
+
+// traceQEMemo emits the per-outermost-elimination memo span.
+// memo: tracing is observability only; results never depend on it.
+func (s *Solver) traceQEMemo(depth int32, outcome string) {
+	if depth == 1 && s.Tracer.Enabled() {
+		s.Tracer.Emit(obs.Span{Event: obs.EvQEMemo, Outcome: outcome})
+	}
+}
+
+// eliminateUncached is eliminate past the memo lookup: the actual
+// distribution over disjunction and sort dispatch.
+func (s *Solver) eliminateUncached(depth int32, v Var, f Formula) (Formula, error) {
 	if or, ok := f.(*Or); ok {
+		if depth == 1 && len(or.Fs) >= parallelDisjunctMin && runtime.GOMAXPROCS(0) > 1 {
+			return s.eliminateDisjunctsParallel(v, or)
+		}
 		fs := make([]Formula, 0, len(or.Fs))
 		for _, g := range or.Fs {
 			r, err := s.eliminate(v, g)
@@ -233,6 +350,90 @@ func (s *Solver) eliminate(v Var, f Formula) (Formula, error) {
 		return s.eliminateInt(v, f)
 	}
 	return s.eliminateReal(v, f)
+}
+
+// parallelDisjunctMin is the smallest outermost disjunct count worth
+// fanning out: below it the goroutine setup outweighs the per-disjunct
+// elimination work.
+const parallelDisjunctMin = 4
+
+// eliminateDisjunctsParallel eliminates v from each disjunct of or on a
+// pool of workers that claim disjunct indices off a shared counter (the
+// morsel pattern from internal/engine). Results are joined in index order
+// and folded exactly as the serial loop does, so the outcome — including
+// which error or early Bool(true) the caller observes — matches the
+// serial elimination: claims are issued in ascending order and a worker
+// finishes what it claimed, so every index before the first error/true
+// trigger is complete by the join.
+//
+// alloc: per-call worker bookkeeping (result slices, WaitGroup); one
+// outermost elimination amortizes it over its disjuncts.
+// memo: the parallel schedule only reorders independent sub-eliminations;
+// the ascending join makes the result identical to the serial loop's.
+func (s *Solver) eliminateDisjunctsParallel(v Var, or *Or) (Formula, error) {
+	n := len(or.Fs)
+	results := make([]Formula, n)
+	errs := make([]error, n)
+	done := make([]bool, n)
+	var next atomic.Int64
+	var stop atomic.Bool
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// memo: worker goroutines compute independent sub-eliminations;
+		// the deterministic ascending join below erases scheduling order.
+		go func() {
+			defer wg.Done()
+			// cancel: claim loop; the shared counter only grows, so each
+			// worker exits after at most n claims, and every claimed
+			// eliminate polls checkStop internally.
+			for {
+				// Check stop before claiming, never after: a claimed index
+				// is always computed, so the claimed prefix has no gaps and
+				// the ascending join below sees every index up to the first
+				// error/true trigger.
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := s.eliminate(v, or.Fs[i])
+				results[i], errs[i], done[i] = r, err, true
+				if err != nil {
+					stop.Store(true)
+					return
+				}
+				if b, ok := r.(Bool); ok && bool(b) {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fs := make([]Formula, 0, n)
+	for i, g := range or.Fs {
+		if !done[i] {
+			// Only reachable past the first trigger index (claims are
+			// ascending and always completed); compute in place so the
+			// scan never has to distinguish the two cases.
+			results[i], errs[i] = s.eliminate(v, g)
+		}
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if b, ok := results[i].(Bool); ok && bool(b) {
+			return Bool(true), nil
+		}
+		fs = append(fs, results[i])
+	}
+	return Simplify(NewOr(fs...)), nil
 }
 
 // Satisfiable decides whether f has a model. Free variables are treated as
@@ -436,6 +637,27 @@ func solveUnivariate(v Var, f Formula) (*big.Rat, error) {
 		for _, b := range bounds {
 			fl := ratFloor(b)
 			base = append(base, new(big.Rat).SetInt(fl), new(big.Rat).SetInt(new(big.Int).Add(fl, bigOne)))
+		}
+		if base64, ok := intBases64(base, dn); ok {
+			// Lazy int64 scan: identical candidate order and dedup as the
+			// materializing loop below, so the first satisfying value — the
+			// function's result — is unchanged, but candidates after it are
+			// never built and dedup keys never allocate.
+			seen64 := make(map[int64]bool, len(base64))
+			for _, b := range base64 {
+				for j := int64(-dn - 1); j <= dn+1; j++ {
+					n := b + j
+					if seen64[n] {
+						continue
+					}
+					seen64[n] = true
+					g := Simplify(Subst(f, v, ConstTerm(n)))
+					if sat, ok := g.(Bool); ok && bool(sat) {
+						return new(big.Rat).SetInt64(n), nil
+					}
+				}
+			}
+			return nil, ErrUnsat
 		}
 		for _, b := range base {
 			for j := int64(-dn - 1); j <= dn+1; j++ {
