@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine race-serve race-smt lint lint-json lint-sarif lint-alloc lint-self memo-report bench-smt fuzz-smoke smoke-siad check clean
+.PHONY: build vet test race race-engine race-serve race-smt lint lint-json lint-sarif lint-alloc lint-self memo-report bench-smt bench-serve fuzz-smoke smoke-siad smoke-cluster check clean
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,11 @@ race-engine:
 	GOMAXPROCS=1 $(GO) test -race -count=1 ./internal/engine/
 	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/engine/
 
-# The result cache's singleflight and the siad handlers are the other
-# concurrency hotspots; always run them racy and fresh.
+# The result cache's singleflight and the serving tier (sharding, the
+# request batcher, admission control) are the other concurrency hotspots;
+# always run them racy and fresh.
 race-serve:
-	$(GO) test -race -count=1 ./internal/cache/ ./cmd/siad/
+	$(GO) test -race -count=1 ./internal/cache/ ./internal/serve/... ./cmd/siad/
 
 # The SMT hot path is concurrent in three places — the hash-cons interner,
 # the process-wide QE memo, and parallel disjunct elimination — and the
@@ -65,6 +66,12 @@ bench-smt:
 	$(GO) run ./cmd/siabench -experiment table2,table3 -queries 20 -scale 1 \
 		-bench-out BENCH_smt.json -bench-baseline BENCH_smt_baseline.json
 
+# Serving-tier bench: single replica vs a 3-replica in-process sharded
+# cluster on a Zipf-skewed recurring workload, plus a kill-and-restart
+# snapshot-warming measurement. Writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/siabench -experiment serve -serve-out BENCH_serve.json
+
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
 
@@ -73,8 +80,14 @@ fuzz-smoke:
 smoke-siad:
 	./scripts/smoke-siad.sh
 
+# Black-box cluster smoke test: 3 real siad processes sharded via -peers,
+# deterministic routing, cross-replica cache hits, drain-writes-snapshot
+# and warm restart.
+smoke-cluster:
+	./scripts/smoke-cluster.sh
+
 # check is the full CI gate: everything must pass before merging.
-check: build vet race race-engine race-serve race-smt lint lint-alloc lint-self smoke-siad
+check: build vet race race-engine race-serve race-smt lint lint-alloc lint-self smoke-siad smoke-cluster
 
 clean:
 	$(GO) clean ./...

@@ -43,7 +43,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("experiment", "", "one of table1..table4, fig6..fig9, motivating")
+	exp := flag.String("experiment", "", "one of table1..table4, fig6..fig9, motivating, serve")
 	all := flag.Bool("all", false, "run every experiment")
 	queries := flag.Int("queries", 40, "number of benchmark queries (paper: 200)")
 	scale := flag.String("scale", "1,10", "comma-separated scale factors (x15k orders; paper SF1/SF10 = 100,1000)")
@@ -52,6 +52,11 @@ func run() error {
 	parallelism := flag.Int("parallelism", 0, "engine worker count for plan execution (0 = one per CPU; results are identical at any setting)")
 	trace := flag.String("trace", "", "write CEGIS trace spans to this file as JSONL (disables synthesis caching)")
 	benchOut := flag.String("bench-out", "", "write a JSON snapshot of the process-wide SMT metrics to this file after the run (the BENCH_smt.json artifact)")
+	serveOut := flag.String("serve-out", "", "with -experiment serve: write the serving-tier report to this file (the BENCH_serve.json artifact)")
+	serveRequests := flag.Int("serve-requests", 1500, "serving experiment: stream length")
+	serveTemplates := flag.Int("serve-templates", 60, "serving experiment: recurring-template pool size")
+	serveCapacity := flag.Int("serve-capacity", 28, "serving experiment: per-replica cache capacity")
+	serveConcurrency := flag.Int("serve-concurrency", 16, "serving experiment: client worker count")
 	benchBaseline := flag.String("bench-baseline", "", "embed this previously written -bench-out file as the baseline and report speedups against it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
@@ -174,6 +179,33 @@ func run() error {
 				return err
 			}
 			section(fmt.Sprintf("Motivating example (scale %g)", sf), experiments.RenderMotivating(m))
+		}
+	}
+	if run["serve"] {
+		start := time.Now()
+		rep, err := experiments.ServeBench(experiments.ServeBenchConfig{
+			Requests:      *serveRequests,
+			Templates:     *serveTemplates,
+			Seed:          *seed,
+			Concurrency:   *serveConcurrency,
+			CacheCapacity: *serveCapacity,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serving experiment: %d requests x2 tiers in %v\n",
+			*serveRequests, time.Since(start).Round(time.Millisecond))
+		section("Serving tier: single replica vs sharded cluster", experiments.RenderServe(rep))
+		if *serveOut != "" {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			out = append(out, '\n')
+			if err := os.WriteFile(*serveOut, out, 0o644); err != nil {
+				return fmt.Errorf("writing serve report: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "serve report: %s\n", *serveOut)
 		}
 	}
 	if *benchOut != "" {

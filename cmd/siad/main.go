@@ -1,52 +1,42 @@
 // Command siad serves predicate synthesis over HTTP: a long-lived process
 // that amortizes Sia's synthesis cost across recurring queries (§6.2 of the
-// paper argues reuse is the common case) through an in-memory result cache
-// with request coalescing.
+// paper argues reuse is the common case). The serving logic lives in
+// internal/serve; this command is flag parsing, signal handling and process
+// lifecycle.
 //
-// Endpoints:
+// Endpoints (see docs/API.md):
 //
-//	POST /synthesize   — synthesize a reduction (JSON in, JSON out)
-//	GET  /healthz      — liveness probe (503 while draining)
-//	GET  /stats        — uptime, request counts, cache counters
-//	GET  /metrics      — Prometheus text exposition (server + process metrics)
-//	GET  /debug/vars   — expvar JSON (includes the sia_metrics snapshot)
-//	GET  /debug/pprof/ — run-time profiles (only with -pprof)
+//	POST /v1/synthesize — synthesize a reduction (JSON in, JSON out)
+//	POST /v1/batch      — several requests in one call, answered per item
+//	GET  /v1/stats      — uptime, request counts, cache + serving counters
+//	GET  /healthz       — liveness probe (503 while draining)
+//	GET  /metrics       — Prometheus text exposition
+//	GET  /debug/vars    — expvar JSON (includes the sia_metrics snapshot)
+//	GET  /debug/pprof/  — run-time profiles (only with -pprof)
+//	POST /synthesize    — deprecated alias of /v1/synthesize
+//	GET  /stats         — deprecated alias of /v1/stats
 //
-// A request names its schema inline, so one daemon serves any catalog:
-//
-//	{
-//	  "predicate": "a - b < 20 AND b < 0",
-//	  "cols": ["a"],
-//	  "schema": [
-//	    {"name": "a", "type": "int"},
-//	    {"name": "b", "type": "int", "nullable": true}
-//	  ],
-//	  "timeout_ms": 5000
-//	}
-//
-// Each request runs under a deadline: timeout_ms when given (capped by
-// -max-timeout), -default-timeout otherwise. A request that exceeds its
-// deadline gets 504 with an error naming the timeout; malformed input gets
-// 400; identical concurrent requests share a single synthesis run and
-// repeated ones are answered from the cache.
+// Replicas: -peers lists the full cluster membership and -self this
+// replica's own advertised address; the synthesis cache is then partitioned
+// across the cluster by consistent hashing, with misses on peer-owned keys
+// forwarded single-hop to their owner. -snapshot persists the cache across
+// restarts; -batch-tick groups near-identical requests into shared CEGIS
+// runs; -tenant-rate/-tenant-burst/-max-inflight shed load before it
+// queues.
 //
 // The process shuts down gracefully: SIGINT or SIGTERM stops accepting new
 // synthesis work (503), fails the liveness probe so load balancers drain
-// the instance, and waits up to -drain-timeout for in-flight requests
-// before exiting 0. Every request is access-logged as one structured JSON
-// line on stderr.
+// the instance, waits up to -drain-timeout for in-flight requests, writes a
+// final cache snapshot (when -snapshot is set) and exits 0.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,9 +45,9 @@ import (
 	"time"
 
 	"sia/internal/cache"
-	"sia/internal/core"
 	"sia/internal/obs"
-	"sia/internal/predicate"
+	"sia/internal/serve"
+	"sia/internal/serve/api"
 )
 
 func main() {
@@ -71,17 +61,45 @@ func run() int {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper bound on client-requested deadlines")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body cap in bytes (413 past it)")
+
+	self := flag.String("self", "", "this replica's advertised address (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated cluster membership, including -self (empty = unsharded)")
+	batchTick := flag.Duration("batch-tick", 0, "window for grouping near-identical requests into one CEGIS run (0 = disabled)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admitted requests/second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 8, "per-tenant token-bucket size")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent synthesis cap; misses past it are shed with 429 (0 = unlimited)")
+	snapshot := flag.String("snapshot", "", "cache snapshot path: restored at boot, written periodically and on drain")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often the snapshot is rewritten (with -snapshot)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv := newServer(*capacity, *defaultTimeout, *maxTimeout)
-	srv.logger = logger
-	srv.pprof = *enablePprof
+	srv, err := serve.New(serve.Config{
+		Capacity:         *capacity,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		Logger:           logger,
+		Pprof:            *enablePprof,
+		Self:             *self,
+		Peers:            splitPeers(*peers),
+		BatchTick:        *batchTick,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
+		MaxInflight:      *maxInflight,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapshotInterval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer srv.Close()
 	obs.PublishExpvar()
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -90,7 +108,9 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("siad listening", "addr", *addr, "cache_capacity", *capacity, "pprof", *enablePprof)
+		logger.Info("siad listening", "addr", *addr, "cache_capacity", *capacity,
+			"pprof", *enablePprof, "self", *self, "peers", *peers,
+			"batch_tick", batchTick.String(), "snapshot", *snapshot)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -104,361 +124,90 @@ func run() int {
 	case <-ctx.Done():
 	}
 
-	// Drain: refuse new synthesis work, fail the liveness probe, then wait
-	// for in-flight requests up to the drain budget.
+	// Drain: refuse new synthesis work, fail the liveness probe, wait for
+	// in-flight requests up to the drain budget, then persist the cache so
+	// the restarted replica warms instantly.
 	stop()
-	srv.draining.Store(true)
+	srv.StartDrain()
 	logger.Info("siad draining", "drain_timeout", drainTimeout.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		logger.Error("siad shutdown incomplete", "err", err.Error())
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if n, err := srv.WriteSnapshot(); err != nil {
+		logger.Error("final snapshot failed", "err", err.Error())
+	} else if *snapshot != "" {
+		logger.Info("final snapshot written", "entries", n)
+	}
+	if shutdownErr != nil {
+		logger.Error("siad shutdown incomplete", "err", shutdownErr.Error())
 		return 1
 	}
 	logger.Info("siad stopped")
 	return 0
 }
 
-// server is the daemon's state: one shared synthesis cache, a per-server
-// metrics registry, and the drain flag. It is separated from main so the
-// handler tests drive it via httptest.
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// --- handler-test compatibility ------------------------------------------
+//
+// The original siad kept its server state in this package; the serving
+// logic now lives in internal/serve, but the handler tests (and anything
+// else that grew against the old surface) still construct a server here and
+// poke its fields. This thin shim preserves that surface: newServer mirrors
+// the old constructor, and handler() materializes an internal/serve server
+// over the shared synthesizer, logger, drain flag and pprof setting at call
+// time — matching the old semantics where field writes between newServer
+// and handler() took effect.
+
 type server struct {
 	synth          *cache.Synthesizer
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
-	start          time.Time
 	logger         *slog.Logger
 	pprof          bool
 	draining       atomic.Bool
-
-	// reg holds this server's own metrics (request counters, latency
-	// histograms, the cache's counters). /metrics serves it merged with
-	// obs.Default(), which the instrumented internal packages feed.
-	reg      *obs.Registry
-	requests *obs.Counter
-	failures *obs.Counter
-	latency  map[string]*obs.Histogram
 }
 
-// Endpoints with their own latency series; anything else lands in "other"
-// so label cardinality stays bounded.
-var knownPaths = []string{"/synthesize", "/healthz", "/stats", "/metrics", "/debug/vars", "other"}
+// Wire types moved to internal/serve/api; the old names remain as aliases.
+type (
+	synthesizeRequest  = api.SynthesizeRequest
+	synthesizeResponse = api.SynthesizeResponse
+	statsResponse      = api.StatsResponse
+	errorResponse      = api.ErrorResponse
+)
 
 func newServer(capacity int, defaultTimeout, maxTimeout time.Duration) *server {
-	reg := obs.NewRegistry()
-	s := &server{
+	return &server{
 		synth:          cache.NewSynthesizer(capacity),
 		defaultTimeout: defaultTimeout,
 		maxTimeout:     maxTimeout,
-		start:          time.Now(),
 		logger:         slog.New(slog.NewJSONHandler(os.Stderr, nil)),
-		reg:            reg,
-		requests:       reg.Counter("sia_http_requests_total", "HTTP requests served."),
-		failures:       reg.Counter("sia_http_failures_total", "HTTP requests answered with status >= 400."),
-		latency:        map[string]*obs.Histogram{},
 	}
-	for _, p := range knownPaths {
-		s.latency[p] = reg.Histogram("sia_http_request_seconds",
-			"HTTP request latency by endpoint.", obs.DurationBuckets(),
-			obs.Label{Key: "path", Value: p})
-	}
-	// A fresh registry cannot already hold these names; a failure here is a
-	// programmer error, not a runtime condition.
-	if err := s.synth.RegisterMetrics(reg); err != nil {
-		panic("siad: " + err.Error())
-	}
-	if err := reg.GaugeFunc("sia_process_uptime_seconds", "Seconds since the server started.",
-		func() float64 { return time.Since(s.start).Seconds() }); err != nil {
-		panic("siad: " + err.Error())
-	}
-	return s
 }
 
 func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/synthesize", s.handleSynthesize)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.Handle("/debug/vars", expvar.Handler())
-	if s.pprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	return s.instrument(mux)
-}
-
-// cacheOutcomeHeader carries the cache outcome ("hit" or "miss") from the
-// synthesize handler to the access-log middleware. It travels as a real
-// response header, so clients can observe it too.
-const cacheOutcomeHeader = "X-Sia-Cache"
-
-// statusRecorder captures the status code written by a handler.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps the mux with request counting, per-endpoint latency
-// histograms, and one structured access-log line per request. Counters are
-// bumped after the handler returns, so a /stats request reports the state
-// before itself.
-func (s *server) instrument(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		elapsed := time.Since(start)
-
-		path := r.URL.Path
-		if _, ok := s.latency[path]; !ok {
-			path = "other"
-		}
-		s.requests.Inc()
-		if rec.status >= 400 {
-			s.failures.Inc()
-		}
-		s.latency[path].Observe(elapsed.Seconds())
-
-		attrs := []slog.Attr{
-			slog.String("method", r.Method),
-			slog.String("path", r.URL.Path),
-			slog.Int("status", rec.status),
-			slog.Duration("duration", elapsed),
-		}
-		if outcome := rec.Header().Get(cacheOutcomeHeader); outcome != "" {
-			attrs = append(attrs, slog.String("cache", outcome))
-		}
-		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	srv, err := serve.New(serve.Config{
+		DefaultTimeout: s.defaultTimeout,
+		MaxTimeout:     s.maxTimeout,
+		Logger:         s.logger,
+		Pprof:          s.pprof,
+		Drain:          &s.draining,
+		Synth:          s.synth,
 	})
-}
-
-// synthesizeRequest is the wire form of one synthesis call. Durations are
-// carried as integral milliseconds, matching how query optimizers configure
-// solver timeouts.
-type synthesizeRequest struct {
-	Predicate string          `json:"predicate"`
-	Cols      []string        `json:"cols"`
-	Schema    []schemaColumn  `json:"schema"`
-	TimeoutMS int64           `json:"timeout_ms,omitempty"`
-	Options   *requestOptions `json:"options,omitempty"`
-}
-
-type schemaColumn struct {
-	Name     string `json:"name"`
-	Type     string `json:"type"`
-	Nullable bool   `json:"nullable,omitempty"`
-}
-
-type requestOptions struct {
-	MaxIterations       int   `json:"max_iterations,omitempty"`
-	InitialTrue         int   `json:"initial_true,omitempty"`
-	InitialFalse        int   `json:"initial_false,omitempty"`
-	SamplesPerIteration int   `json:"samples_per_iteration,omitempty"`
-	MaxDenominator      int64 `json:"max_denominator,omitempty"`
-	NonZeroSamples      bool  `json:"non_zero_samples,omitempty"`
-	SolverTimeoutMS     int64 `json:"solver_timeout_ms,omitempty"`
-	TimeoutMS           int64 `json:"timeout_ms,omitempty"`
-}
-
-type synthesizeResponse struct {
-	// Predicate is the synthesized reduction in SQL syntax, or "" when
-	// only the trivial TRUE predicate is valid.
-	Predicate    string `json:"predicate"`
-	Valid        bool   `json:"valid"`
-	Optimal      bool   `json:"optimal"`
-	Iterations   int    `json:"iterations"`
-	TrueSamples  int    `json:"true_samples"`
-	FalseSamples int    `json:"false_samples"`
-	GaveUp       string `json:"gave_up,omitempty"`
-	// Cached reports whether the response was served without running a
-	// synthesis loop in this request (a cache hit or a coalesced join).
-	Cached    bool  `json:"cached"`
-	ElapsedMS int64 `json:"elapsed_ms"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func (s *server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
-		return
-	}
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
-	}
-	var req synthesizeRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-
-	schema, err := buildSchema(req.Schema)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		// A config with no peers and no snapshot cannot fail to build.
+		panic("siad: " + err.Error())
 	}
-	pred, err := predicate.Parse(req.Predicate, schema)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("parsing predicate: %w", err))
-		return
-	}
-	opts, err := buildOptions(req.Options)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-
-	timeout := s.defaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.maxTimeout {
-			timeout = s.maxTimeout
-		}
-	} else if req.TimeoutMS < 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("timeout_ms must be positive"))
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
-	start := time.Now()
-	res, cached, err := s.synth.Synthesize(ctx, pred, req.Cols, schema, opts)
-	if err != nil {
-		switch {
-		case errors.Is(err, core.ErrInvalidOptions):
-			s.fail(w, http.StatusBadRequest, err)
-		case errors.Is(err, core.ErrTimeout):
-			s.fail(w, http.StatusGatewayTimeout, err)
-		default:
-			s.fail(w, http.StatusInternalServerError, err)
-		}
-		return
-	}
-
-	resp := synthesizeResponse{
-		Valid:        res.Valid,
-		Optimal:      res.Optimal,
-		Iterations:   res.Iterations,
-		TrueSamples:  res.TrueSamples,
-		FalseSamples: res.FalseSamples,
-		GaveUp:       string(res.GaveUp),
-		Cached:       cached,
-		ElapsedMS:    time.Since(start).Milliseconds(),
-	}
-	if res.Predicate != nil {
-		resp.Predicate = res.Predicate.String()
-	}
-	if cached {
-		w.Header().Set(cacheOutcomeHeader, "hit")
-	} else {
-		w.Header().Set(cacheOutcomeHeader, "miss")
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
-	}
-	fmt.Fprintln(w, "ok")
-}
-
-// handleMetrics serves the Prometheus exposition: this server's registry
-// (request counters, latency, cache) merged with the process-wide Default
-// registry (synthesis, solver, engine).
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = obs.WritePrometheus(w, s.reg, obs.Default())
-}
-
-type statsResponse struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Requests      uint64      `json:"requests"`
-	Failures      uint64      `json:"failures"`
-	Cache         cache.Stats `json:"cache"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Value(),
-		Failures:      s.failures.Value(),
-		Cache:         s.synth.Stats(),
-	})
-}
-
-func (s *server) fail(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func buildSchema(cols []schemaColumn) (*predicate.Schema, error) {
-	if len(cols) == 0 {
-		return nil, fmt.Errorf("schema must declare at least one column")
-	}
-	out := make([]predicate.Column, len(cols))
-	for i, c := range cols {
-		if c.Name == "" {
-			return nil, fmt.Errorf("schema column %d has no name", i)
-		}
-		var t predicate.Type
-		switch strings.ToLower(c.Type) {
-		case "int", "integer":
-			t = predicate.TypeInteger
-		case "double", "float":
-			t = predicate.TypeDouble
-		case "date":
-			t = predicate.TypeDate
-		case "timestamp":
-			t = predicate.TypeTimestamp
-		default:
-			return nil, fmt.Errorf("column %q: unknown type %q (want int, double, date or timestamp)", c.Name, c.Type)
-		}
-		out[i] = predicate.Column{Name: c.Name, Type: t, NotNull: !c.Nullable}
-	}
-	return predicate.NewSchema(out...), nil
-}
-
-func buildOptions(o *requestOptions) (core.Options, error) {
-	if o == nil {
-		return core.Options{}, nil
-	}
-	opts := core.Options{
-		MaxIterations:       o.MaxIterations,
-		InitialTrue:         o.InitialTrue,
-		InitialFalse:        o.InitialFalse,
-		SamplesPerIteration: o.SamplesPerIteration,
-		MaxDenominator:      o.MaxDenominator,
-		NonZeroSamples:      o.NonZeroSamples,
-		SolverTimeout:       time.Duration(o.SolverTimeoutMS) * time.Millisecond,
-		Timeout:             time.Duration(o.TimeoutMS) * time.Millisecond,
-	}
-	if err := opts.Validate(); err != nil {
-		return core.Options{}, err
-	}
-	return opts, nil
+	return srv.Handler()
 }

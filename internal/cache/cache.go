@@ -223,6 +223,55 @@ func (c *Cache) insert(key string, res *core.Result) {
 	}
 }
 
+// Peek returns the stored result for key without computing on a miss. A
+// found entry is refreshed in the LRU and counted as a hit (it served a
+// request); an absent key is not counted as a miss, so Stats.Misses keeps
+// meaning "CEGIS loops started". The serving tier uses Peek as the local
+// fast path before forwarding a peer-owned key: a positive lookup skips
+// the network hop, a negative one proxies.
+func (c *Cache) Peek(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*entry).res, true
+}
+
+// Put stores res under key without counting a miss, evicting past
+// capacity. It backs snapshot restore (warming a rebooted replica) and
+// batched group runs (one grouped result stored under each member's key);
+// ordinary synthesis results should flow through Do.
+func (c *Cache) Put(key string, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, res)
+}
+
+// Entry is one exported cache entry.
+type Entry struct {
+	Key string
+	Res *core.Result
+}
+
+// Export returns the stored entries, most recently used first. The slice
+// is a snapshot: later cache mutations do not affect it. Snapshot writers
+// use the MRU order so a capacity-truncated restore keeps the hottest
+// keys.
+func (c *Cache) Export() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, Res: e.res})
+	}
+	return out
+}
+
 // Stats returns a snapshot of the cache's counters and gauges.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
@@ -317,6 +366,23 @@ func (s *Synthesizer) Synthesize(ctx context.Context, p predicate.Predicate, col
 	return s.cache.Do(ctx, key, func(runCtx context.Context) (*core.Result, error) {
 		return core.SynthesizeContext(runCtx, p, cols, schema, opts)
 	})
+}
+
+// Peek returns the cached result for key without synthesizing on a miss.
+func (s *Synthesizer) Peek(key string) (*core.Result, bool) { return s.cache.Peek(key) }
+
+// Put stores res under key without counting a miss (snapshot restore and
+// batched group fills).
+func (s *Synthesizer) Put(key string, res *core.Result) { s.cache.Put(key, res) }
+
+// Export returns the stored entries, most recently used first.
+func (s *Synthesizer) Export() []Entry { return s.cache.Export() }
+
+// Do runs the cache's memoized computation under an explicit key. The
+// serving tier's batcher uses it to run grouped synthesis through the same
+// singleflight machinery as ordinary requests.
+func (s *Synthesizer) Do(ctx context.Context, key string, fn func(context.Context) (*core.Result, error)) (*core.Result, bool, error) {
+	return s.cache.Do(ctx, key, fn)
 }
 
 // Stats returns the underlying cache's counters.

@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sia/internal/predicate"
+	"sia/internal/serve"
+	serveapi "sia/internal/serve/api"
+	serveclient "sia/internal/serve/client"
+	"sia/internal/workload"
+)
+
+// ServeBenchConfig scales the serving-tier experiment: the same Zipf-skewed
+// recurring workload is driven first through one replica, then through a
+// 3-replica consistent-hash cluster, and finally through a kill-and-restart
+// of one cluster replica to measure snapshot warming.
+type ServeBenchConfig struct {
+	// Requests is the stream length (default 600).
+	Requests int
+	// Templates is the recurring-query pool size (default 90).
+	Templates int
+	// Seed fixes the workload.
+	Seed int64
+	// Concurrency is the number of in-flight client workers (default 12).
+	Concurrency int
+	// CacheCapacity is the per-replica result-cache bound (default 30 —
+	// deliberately smaller than the template pool, so a single replica
+	// thrashes where the cluster's aggregate capacity holds the working
+	// set).
+	CacheCapacity int
+	// Replicas is the cluster size (default 3).
+	Replicas int
+	// BatchTick enables request grouping in every replica (default 1ms).
+	BatchTick time.Duration
+	// ZipfS is the template-popularity skew (default 1.01 — nearly uniform
+	// over the pool, so the recurring working set genuinely exceeds one
+	// replica's cache).
+	ZipfS float64
+	// Recurrence is the template-reuse fraction (default 0.95).
+	Recurrence float64
+	// SnapshotDir holds the cluster's snapshot files (default: a temp dir).
+	SnapshotDir string
+}
+
+func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
+	if c.Requests == 0 {
+		c.Requests = 1500
+	}
+	if c.Templates == 0 {
+		c.Templates = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = 20210620
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 16
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 28
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.BatchTick == 0 {
+		c.BatchTick = time.Millisecond
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.01
+	}
+	if c.Recurrence == 0 {
+		c.Recurrence = 0.98
+	}
+	return c
+}
+
+// TierMetrics summarizes one driven stream.
+type TierMetrics struct {
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	P50MS           float64 `json:"p50_ms"`
+	P99MS           float64 `json:"p99_ms"`
+	// HitRate is the fraction of successful responses served without a
+	// dedicated CEGIS run (cache hits, coalesced joins, batched runs).
+	HitRate float64 `json:"hit_rate"`
+	// BatchedRate is the fraction answered by a grouped run.
+	BatchedRate float64 `json:"batched_rate"`
+	// ShedRate is the fraction refused by admission control (429s).
+	ShedRate float64 `json:"shed_rate"`
+	// FirstError samples one error message when Errors > 0, for debugging
+	// a failed run from the committed report alone.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// ServeReport is the BENCH_serve.json schema.
+type ServeReport struct {
+	Workload struct {
+		Requests    int     `json:"requests"`
+		Templates   int     `json:"templates"`
+		Seed        int64   `json:"seed"`
+		Concurrency int     `json:"concurrency"`
+		Capacity    int     `json:"cache_capacity_per_replica"`
+		Replicas    int     `json:"replicas"`
+		BatchTickMS float64 `json:"batch_tick_ms"`
+	} `json:"workload"`
+	Single  TierMetrics `json:"single"`
+	Cluster TierMetrics `json:"cluster"`
+	// Speedup is the cluster's aggregate throughput over the single
+	// replica's on the same stream (acceptance: >= 2 on the skewed
+	// workload).
+	Speedup float64 `json:"speedup"`
+	Restart struct {
+		// PreHitRate and PostHitRate are the hot-template probe hit rates
+		// immediately before the kill and immediately after the restarted
+		// replica comes back from its snapshot (acceptance: within 0.10).
+		PreHitRate  float64 `json:"pre_hit_rate"`
+		PostHitRate float64 `json:"post_hit_rate"`
+		Delta       float64 `json:"delta"`
+		// RestoredEntries is how many cache entries the restarted replica
+		// warmed from disk.
+		RestoredEntries uint64 `json:"restored_entries"`
+	} `json:"restart"`
+}
+
+// swapHandler lets a replica be "killed and restarted" in-process: the
+// listener and address survive while the serve.Server behind them is
+// replaced wholesale.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// replica is one in-process serving-tier member.
+type replica struct {
+	addr string
+	ts   *httptest.Server
+	swap *swapHandler
+	srv  *serve.Server
+	cfg  serve.Config
+}
+
+func (r *replica) close() {
+	if r.srv != nil {
+		r.srv.Close()
+	}
+	r.ts.Close()
+}
+
+// startCluster brings up n replicas on real listeners. Addresses are
+// allocated first (unstarted servers) so every member's config can name the
+// full peer set; with n == 1 the replica runs unsharded.
+func startCluster(n int, base serve.Config) ([]*replica, error) {
+	reps := make([]*replica, n)
+	var addrs []string
+	for i := range reps {
+		sw := &swapHandler{}
+		sw.h.Store(http.NotFoundHandler())
+		ts := httptest.NewUnstartedServer(sw)
+		reps[i] = &replica{ts: ts, swap: sw, addr: ts.Listener.Addr().String()}
+		addrs = append(addrs, reps[i].addr)
+	}
+	for i, r := range reps {
+		cfg := base
+		if n > 1 {
+			cfg.Self = r.addr
+			cfg.Peers = addrs
+		}
+		if base.SnapshotPath != "" {
+			cfg.SnapshotPath = fmt.Sprintf("%s.%d", base.SnapshotPath, i)
+		}
+		srv, err := serve.New(cfg)
+		if err != nil {
+			for _, rr := range reps {
+				rr.ts.Close()
+			}
+			return nil, err
+		}
+		r.srv, r.cfg = srv, cfg
+		r.swap.h.Store(srv.Handler())
+		r.ts.Start()
+	}
+	return reps, nil
+}
+
+// restart replaces a replica's server with a fresh one built from the same
+// config: the old server drains and writes its snapshot, the new one boots
+// from it. The listener (and so the peer address) survives.
+func (r *replica) restart() error {
+	r.srv.StartDrain()
+	if _, err := r.srv.WriteSnapshot(); err != nil {
+		return err
+	}
+	r.srv.Close()
+	srv, err := serve.New(r.cfg)
+	if err != nil {
+		return err
+	}
+	r.srv = srv
+	r.swap.h.Store(srv.Handler())
+	return nil
+}
+
+// wireRequest converts a workload element to its wire form: the predicate
+// as SQL, the schema restricted to the columns the request mentions.
+func wireRequest(sr workload.ServeRequest, schema *predicate.Schema) serveapi.SynthesizeRequest {
+	seen := map[string]bool{}
+	var cols []serveapi.SchemaColumn
+	for _, name := range append(predicate.Columns(sr.Query.Pred), sr.Cols...) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		col, ok := schema.Lookup(name)
+		if !ok {
+			continue
+		}
+		cols = append(cols, serveapi.SchemaColumn{
+			Name:     col.Name,
+			Type:     serveapi.FormatType(col.Type),
+			Nullable: !col.NotNull,
+		})
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].Name < cols[j].Name })
+	return serveapi.SynthesizeRequest{
+		Predicate: sr.Query.Pred.String(),
+		Cols:      sr.Cols,
+		Schema:    cols,
+		TimeoutMS: 30000,
+		// The experiment measures the serving tier, not CEGIS convergence:
+		// a bounded iteration/sampling budget keeps each miss at a
+		// predictable few-ms cost (a run that exhausts it gives up and the
+		// partial result still caches), so throughput differences reflect
+		// hit rates and shedding, not outlier synthesis runs.
+		Options: &serveapi.RequestOptions{
+			MaxIterations:       6,
+			InitialTrue:         20,
+			InitialFalse:        20,
+			SamplesPerIteration: 10,
+			SolverTimeoutMS:     2000,
+		},
+	}
+}
+
+// driveStream pushes the request stream through the given ingress points
+// (round-robin, like a load balancer) with the given worker count and
+// tallies latency/outcome metrics. One client per (ingress, tenant) pair,
+// so the tenant header is exercised exactly as a real fleet would.
+func driveStream(urls []string, reqs []serveapi.SynthesizeRequest, tenants []string, concurrency int) TierMetrics {
+	var clientMu sync.Mutex
+	clients := map[string]*serveclient.Client{}
+	clientFor := func(url, tenant string) *serveclient.Client {
+		clientMu.Lock()
+		defer clientMu.Unlock()
+		k := url + "|" + tenant
+		c := clients[k]
+		if c == nil {
+			c = serveclient.New(url, serveclient.WithRetries(0), serveclient.WithTenant(tenant))
+			clients[k] = c
+		}
+		return c
+	}
+	durs := make([]time.Duration, len(reqs))
+	var hits, batched, shed, errs atomic.Int64
+	var errMu sync.Mutex
+	var firstErr string
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, concurrency)
+	for i := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			c := clientFor(urls[i%len(urls)], tenants[i])
+			t0 := time.Now()
+			resp, err := c.Synthesize(ctx, reqs[i])
+			durs[i] = time.Since(t0)
+			if err != nil {
+				if isOverloaded(err) {
+					shed.Add(1)
+				}
+				errs.Add(1)
+				errMu.Lock()
+				if firstErr == "" {
+					firstErr = err.Error()
+				}
+				errMu.Unlock()
+				return
+			}
+			if resp.Cached || resp.Batched {
+				hits.Add(1)
+			}
+			if resp.Batched {
+				batched.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	n := len(reqs)
+	ok := n - int(errs.Load())
+	m := TierMetrics{
+		Requests:        n,
+		Errors:          int(errs.Load()),
+		DurationSeconds: wall.Seconds(),
+		ThroughputRPS:   float64(n) / wall.Seconds(),
+		ShedRate:        float64(shed.Load()) / float64(n),
+		FirstError:      firstErr,
+	}
+	if ok > 0 {
+		m.HitRate = float64(hits.Load()) / float64(ok)
+		m.BatchedRate = float64(batched.Load()) / float64(ok)
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	m.P50MS = float64(sorted[n/2]) / float64(time.Millisecond)
+	m.P99MS = float64(sorted[n*99/100]) / float64(time.Millisecond)
+	return m
+}
+
+func isOverloaded(err error) bool {
+	return errors.Is(err, serveapi.ErrOverloaded)
+}
+
+// ServeBench runs the serving-tier experiment and returns its report.
+func ServeBench(cfg ServeBenchConfig) (*ServeReport, error) {
+	cfg = cfg.withDefaults()
+	schema := workload.ServeSchema()
+	stream := workload.GenerateServe(workload.ServeConfig{
+		N:              cfg.Requests,
+		Templates:      cfg.Templates,
+		Seed:           cfg.Seed,
+		ZipfS:          cfg.ZipfS,
+		RecurrenceRate: cfg.Recurrence,
+	})
+	reqs := make([]serveapi.SynthesizeRequest, len(stream))
+	tenants := make([]string, len(stream))
+	for i, sr := range stream {
+		reqs[i] = wireRequest(sr, schema)
+		tenants[i] = sr.Tenant
+	}
+
+	rep := &ServeReport{}
+	rep.Workload.Requests = cfg.Requests
+	rep.Workload.Templates = cfg.Templates
+	rep.Workload.Seed = cfg.Seed
+	rep.Workload.Concurrency = cfg.Concurrency
+	rep.Workload.Capacity = cfg.CacheCapacity
+	rep.Workload.Replicas = cfg.Replicas
+	rep.Workload.BatchTickMS = float64(cfg.BatchTick) / float64(time.Millisecond)
+
+	base := serve.Config{
+		Capacity:  cfg.CacheCapacity,
+		BatchTick: cfg.BatchTick,
+		Logger:    slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	}
+
+	// Phase 0: warmup. The SMT layer memoizes process-wide (hash-consed
+	// terms, QE results), so whichever tier runs first would pay costs the
+	// second does not. One discarded pass through a throwaway replica pays
+	// them up front, making the measured phases comparable.
+	warm, err := startCluster(1, serve.Config{
+		Capacity: cfg.Requests,
+		Logger:   base.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	driveStream([]string{warm[0].ts.URL}, reqs, tenants, cfg.Concurrency)
+	warm[0].close()
+
+	// Phase 1: one replica, the whole stream.
+	single, err := startCluster(1, base)
+	if err != nil {
+		return nil, err
+	}
+	rep.Single = driveStream([]string{single[0].ts.URL}, reqs, tenants, cfg.Concurrency)
+	single[0].close()
+
+	// Phase 2: the cluster, same stream, round-robin ingress. Snapshots on
+	// so phase 3 can restart a member.
+	snapDir := cfg.SnapshotDir
+	if snapDir == "" {
+		d, err := os.MkdirTemp("", "sia-serve-bench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		snapDir = d
+	}
+	clusterBase := base
+	clusterBase.SnapshotPath = filepath.Join(snapDir, "snapshot.json")
+	cluster, err := startCluster(cfg.Replicas, clusterBase)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, r := range cluster {
+			r.close()
+		}
+	}()
+	urls := make([]string, len(cluster))
+	for i, r := range cluster {
+		urls[i] = r.ts.URL
+	}
+	rep.Cluster = driveStream(urls, reqs, tenants, cfg.Concurrency)
+	if rep.Single.ThroughputRPS > 0 {
+		rep.Speedup = rep.Cluster.ThroughputRPS / rep.Single.ThroughputRPS
+	}
+
+	// Phase 3: kill-and-restart. Probe the hot templates through replica 0
+	// before and after it restarts from its snapshot; warming worked when
+	// the first-minute hit rate survives the restart.
+	probeN := cfg.Templates / 2
+	probes := make([]serveapi.SynthesizeRequest, 0, probeN)
+	seen := map[int]bool{}
+	for _, sr := range stream {
+		if sr.Template >= 0 && !seen[sr.Template] {
+			seen[sr.Template] = true
+			probes = append(probes, wireRequest(sr, schema))
+			if len(probes) == probeN {
+				break
+			}
+		}
+	}
+	probeTenants := make([]string, len(probes))
+	for i := range probeTenants {
+		probeTenants[i] = "tenant-probe"
+	}
+	pre := driveStream([]string{cluster[0].ts.URL}, probes, probeTenants, cfg.Concurrency)
+	if err := cluster[0].restart(); err != nil {
+		return nil, err
+	}
+	post := driveStream([]string{cluster[0].ts.URL}, probes, probeTenants, cfg.Concurrency)
+	rep.Restart.PreHitRate = pre.HitRate
+	rep.Restart.PostHitRate = post.HitRate
+	rep.Restart.Delta = pre.HitRate - post.HitRate
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if st, err := serveclient.New(cluster[0].ts.URL).Stats(ctx); err == nil {
+		rep.Restart.RestoredEntries = st.Serve.SnapshotRestored
+	}
+	return rep, nil
+}
+
+// RenderServe formats the report for the terminal.
+func RenderServe(r *ServeReport) string {
+	line := func(name string, m TierMetrics) string {
+		return fmt.Sprintf("%-8s %8.1f req/s   p50 %7.2fms   p99 %8.2fms   hit %5.1f%%   batched %5.1f%%   shed %5.1f%%   errors %d\n",
+			name, m.ThroughputRPS, m.P50MS, m.P99MS, 100*m.HitRate, 100*m.BatchedRate, 100*m.ShedRate, m.Errors)
+	}
+	out := line("single", r.Single) + line("cluster", r.Cluster)
+	out += fmt.Sprintf("cluster/single throughput: %.2fx (acceptance: >= 2.0)\n", r.Speedup)
+	out += fmt.Sprintf("restart: hit rate %.1f%% -> %.1f%% (delta %.1f pts, restored %d entries)\n",
+		100*r.Restart.PreHitRate, 100*r.Restart.PostHitRate, 100*r.Restart.Delta, r.Restart.RestoredEntries)
+	return out
+}

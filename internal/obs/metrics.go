@@ -137,3 +137,9 @@ func DurationBuckets() []float64 {
 		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 	}
 }
+
+// SizeBuckets are power-of-two bucket bounds for small-count histograms —
+// batch group sizes, fan-out widths — spanning 1 to 256.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTenantBuckets bounds the tenant table so an adversary minting tenant
+// names cannot grow it without bound; past the cap, the least recently
+// seen tenant's bucket is dropped (it refills to full burst on return,
+// which errs toward admitting).
+const maxTenantBuckets = 8192
+
+// tokenBucket is a standard leaky token bucket: capacity burst, refill
+// rate tokens/second. Guarded by admission.mu.
+type tokenBucket struct {
+	tokens   float64
+	lastFill time.Time
+	lastSeen time.Time
+}
+
+// admission implements the serving tier's load shedding: a token bucket
+// per tenant (fairness between tenants — one tenant's flood exhausts only
+// its own bucket) plus a replica-wide cap on concurrently running
+// synthesis computations (shed-before-queue: past the cap a miss is
+// refused immediately with Retry-After rather than queued behind work the
+// replica cannot start).
+type admission struct {
+	rate  float64 // tokens per second per tenant; <= 0 disables
+	burst float64
+
+	mu      sync.Mutex
+	tenants map[string]*tokenBucket
+
+	maxInflight int // concurrent synthesis cap; <= 0 disables
+	inflightMu  sync.Mutex
+	inflight    int
+
+	now func() time.Time // injectable clock for tests
+}
+
+func newAdmission(rate float64, burst, maxInflight int) *admission {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &admission{
+		rate:        rate,
+		burst:       float64(burst),
+		tenants:     map[string]*tokenBucket{},
+		maxInflight: maxInflight,
+		now:         time.Now,
+	}
+}
+
+// admit charges one token to tenant's bucket. When the bucket is empty it
+// returns ok=false and the duration after which one token will have
+// refilled — the Retry-After value.
+func (a *admission) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	if a.rate <= 0 {
+		return true, 0
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.tenants[tenant]
+	if b == nil {
+		if len(a.tenants) >= maxTenantBuckets {
+			a.evictOldest()
+		}
+		b = &tokenBucket{tokens: a.burst, lastFill: now}
+		a.tenants[tenant] = b
+	}
+	elapsed := now.Sub(b.lastFill).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * a.rate
+		if b.tokens > a.burst {
+			b.tokens = a.burst
+		}
+		b.lastFill = now
+	}
+	b.lastSeen = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / a.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictOldest drops the least recently seen tenant. Caller holds a.mu.
+func (a *admission) evictOldest() {
+	var oldest string
+	var when time.Time
+	first := true
+	for t, b := range a.tenants {
+		if first || b.lastSeen.Before(when) {
+			oldest, when, first = t, b.lastSeen, false
+		}
+	}
+	delete(a.tenants, oldest)
+}
+
+// tryAcquire claims one synthesis slot, refusing (not queueing) when the
+// replica is saturated. Balanced by release.
+func (a *admission) tryAcquire() bool {
+	if a.maxInflight <= 0 {
+		return true
+	}
+	a.inflightMu.Lock()
+	defer a.inflightMu.Unlock()
+	if a.inflight >= a.maxInflight {
+		return false
+	}
+	a.inflight++
+	return true
+}
+
+func (a *admission) release() {
+	if a.maxInflight <= 0 {
+		return
+	}
+	a.inflightMu.Lock()
+	a.inflight--
+	a.inflightMu.Unlock()
+}

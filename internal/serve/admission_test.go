@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the admission bucket's injectable clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestAdmission(rate float64, burst, maxInflight int) (*admission, *fakeClock) {
+	a := newAdmission(rate, burst, maxInflight)
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	a.now = clk.now
+	return a, clk
+}
+
+// TestAdmitBurstAndRefill: a tenant gets its full burst, is then refused
+// with a positive Retry-After, and is re-admitted after the refill time.
+func TestAdmitBurstAndRefill(t *testing.T) {
+	a, clk := newTestAdmission(2, 4, 0) // 2 tokens/s, burst 4
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := a.admit("t"); !ok {
+			t.Fatalf("request %d refused within burst", i)
+		}
+	}
+	ok, retry := a.admit("t")
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter %v, want (0, 500ms] at 2 tokens/s", retry)
+	}
+
+	clk.advance(600 * time.Millisecond) // refills 1.2 tokens
+	if ok, _ := a.admit("t"); !ok {
+		t.Fatal("refused after refill")
+	}
+	if ok, _ := a.admit("t"); ok {
+		t.Fatal("second request admitted on 0.2 tokens")
+	}
+}
+
+// TestAdmitTenantIsolation: one tenant exhausting its bucket leaves other
+// tenants untouched.
+func TestAdmitTenantIsolation(t *testing.T) {
+	a, _ := newTestAdmission(1, 2, 0)
+	for i := 0; i < 2; i++ {
+		a.admit("noisy")
+	}
+	if ok, _ := a.admit("noisy"); ok {
+		t.Fatal("noisy tenant admitted past burst")
+	}
+	if ok, _ := a.admit("quiet"); !ok {
+		t.Fatal("quiet tenant shed by noisy tenant's flood")
+	}
+}
+
+// TestAdmitDisabled: rate <= 0 admits everything.
+func TestAdmitDisabled(t *testing.T) {
+	a, _ := newTestAdmission(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := a.admit("any"); !ok {
+			t.Fatal("disabled admission refused a request")
+		}
+	}
+}
+
+// TestTenantTableBounded: minting tenant names beyond the cap evicts the
+// least recently seen bucket instead of growing without bound.
+func TestTenantTableBounded(t *testing.T) {
+	a, clk := newTestAdmission(1, 1, 0)
+	for i := 0; i < maxTenantBuckets+50; i++ {
+		clk.advance(time.Millisecond)
+		a.admit(fmt.Sprintf("tenant-%d", i))
+	}
+	a.mu.Lock()
+	n := len(a.tenants)
+	a.mu.Unlock()
+	if n > maxTenantBuckets {
+		t.Fatalf("tenant table grew to %d, cap is %d", n, maxTenantBuckets)
+	}
+}
+
+// TestInflightCap: tryAcquire refuses past the cap and release frees the
+// slot; a zero cap disables the gate.
+func TestInflightCap(t *testing.T) {
+	a, _ := newTestAdmission(0, 0, 2)
+	if !a.tryAcquire() || !a.tryAcquire() {
+		t.Fatal("acquire refused below cap")
+	}
+	if a.tryAcquire() {
+		t.Fatal("acquire admitted past cap")
+	}
+	a.release()
+	if !a.tryAcquire() {
+		t.Fatal("acquire refused after release")
+	}
+
+	unlimited, _ := newTestAdmission(0, 0, 0)
+	for i := 0; i < 10; i++ {
+		if !unlimited.tryAcquire() {
+			t.Fatal("unlimited gate refused")
+		}
+	}
+}

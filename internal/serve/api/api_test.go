@@ -1,0 +1,118 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"sia/internal/core"
+	"sia/internal/predicate"
+)
+
+// TestStatusErrorRoundtrip: ErrorFor inverts StatusFor — a sentinel that
+// crosses the wire as a status comes back errors.Is-matchable.
+func TestStatusErrorRoundtrip(t *testing.T) {
+	cases := []struct {
+		sentinel error
+		status   int
+	}{
+		{core.ErrInvalidOptions, http.StatusBadRequest},
+		{ErrOverloaded, http.StatusTooManyRequests},
+		{ErrUnavailable, http.StatusServiceUnavailable},
+		{core.ErrTimeout, http.StatusGatewayTimeout},
+	}
+	for _, c := range cases {
+		if got := StatusFor(c.sentinel); got != c.status {
+			t.Fatalf("StatusFor(%v) = %d, want %d", c.sentinel, got, c.status)
+		}
+		back := ErrorFor(c.status, "context message")
+		if !errors.Is(back, c.sentinel) {
+			t.Fatalf("ErrorFor(%d) = %v, does not match %v", c.status, back, c.sentinel)
+		}
+		// And the round trip is stable.
+		if StatusFor(back) != c.status {
+			t.Fatalf("StatusFor(ErrorFor(%d)) = %d", c.status, StatusFor(back))
+		}
+	}
+}
+
+// TestErrorForRequestShapeFamily: the 4xx statuses a client can cause all
+// map to the library's invalid-options sentinel.
+func TestErrorForRequestShapeFamily(t *testing.T) {
+	for _, status := range []int{
+		http.StatusBadRequest, http.StatusNotFound, http.StatusMethodNotAllowed,
+		http.StatusRequestEntityTooLarge, http.StatusUnsupportedMediaType,
+	} {
+		if err := ErrorFor(status, ""); !errors.Is(err, core.ErrInvalidOptions) {
+			t.Fatalf("status %d: %v does not match ErrInvalidOptions", status, err)
+		}
+	}
+	if err := ErrorFor(http.StatusTeapot, "odd"); errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("unmapped status matched a sentinel: %v", err)
+	}
+}
+
+// TestStatusForUnknown: unrecognized errors are a 500, not a silent 200.
+func TestStatusForUnknown(t *testing.T) {
+	if got := StatusFor(errors.New("boom")); got != http.StatusInternalServerError {
+		t.Fatalf("StatusFor(unknown) = %d", got)
+	}
+}
+
+// TestBuildSchema: wire schemas convert with the type table; malformed
+// ones fail with the invalid-options sentinel so they answer 400.
+func TestBuildSchema(t *testing.T) {
+	s, err := BuildSchema([]SchemaColumn{
+		{Name: "a", Type: "int"},
+		{Name: "d", Type: "date", Nullable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col, ok := s.Lookup("a"); !ok || col.Type != predicate.TypeInteger || !col.NotNull {
+		t.Fatalf("column a: %+v", col)
+	}
+	if col, ok := s.Lookup("d"); !ok || col.Type != predicate.TypeDate || col.NotNull {
+		t.Fatalf("column d: %+v", col)
+	}
+
+	for name, cols := range map[string][]SchemaColumn{
+		"empty":    {},
+		"unnamed":  {{Name: "", Type: "int"}},
+		"bad type": {{Name: "a", Type: "varchar"}},
+	} {
+		if _, err := BuildSchema(cols); !errors.Is(err, core.ErrInvalidOptions) {
+			t.Fatalf("%s schema: error %v does not match ErrInvalidOptions", name, err)
+		}
+	}
+}
+
+// TestTypeRoundtrip: FormatType inverts ParseType for every library type.
+func TestTypeRoundtrip(t *testing.T) {
+	for _, typ := range []predicate.Type{
+		predicate.TypeInteger, predicate.TypeDouble, predicate.TypeDate, predicate.TypeTimestamp,
+	} {
+		back, err := ParseType(FormatType(typ))
+		if err != nil || back != typ {
+			t.Fatalf("type %v: roundtrip gave %v, %v", typ, back, err)
+		}
+	}
+}
+
+// TestBuildOptions: millisecond durations convert, and validation errors
+// surface as the invalid-options sentinel.
+func TestBuildOptions(t *testing.T) {
+	opts, err := BuildOptions(&RequestOptions{MaxIterations: 5, SolverTimeoutMS: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.MaxIterations != 5 || opts.SolverTimeout.Milliseconds() != 1500 {
+		t.Fatalf("converted options: %+v", opts)
+	}
+	if _, err := BuildOptions(&RequestOptions{MaxIterations: -1}); !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("invalid options error %v does not match sentinel", err)
+	}
+	if opts, err := BuildOptions(nil); err != nil || opts.MaxIterations != 0 || opts.SolverTimeout != 0 {
+		t.Fatalf("nil options: %+v, %v", opts, err)
+	}
+}

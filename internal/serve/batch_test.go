@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sia/internal/cache"
+	"sia/internal/core"
+	"sia/internal/predicate"
+)
+
+func mustParsed(t *testing.T, predText string, cols []string, schema *predicate.Schema) parsedRequest {
+	t.Helper()
+	p, err := predicate.Parse(predText, schema)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", predText, err)
+	}
+	key, ok := cache.KeyFor(p, cols, schema, core.Options{})
+	if !ok {
+		t.Fatalf("no cache key for %q", predText)
+	}
+	return parsedRequest{pred: p, cols: cols, schema: schema, opts: core.Options{}, key: key}
+}
+
+func intSchema() *predicate.Schema {
+	return predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeInteger, NotNull: true},
+	)
+}
+
+// TestBatcherDisjunction: three distinct predicates over the same target
+// columns arriving within one tick run ONE CEGIS loop (on the
+// disjunction); every member gets a valid, non-optimal, batched result,
+// and each member's own cache key is warmed.
+func TestBatcherDisjunction(t *testing.T) {
+	synth := cache.NewSynthesizer(64)
+	b := newBatcher(20*time.Millisecond, synth, 30*time.Second)
+	schema := intSchema()
+
+	reqs := make([]parsedRequest, 3)
+	for i := range reqs {
+		reqs[i] = mustParsed(t, fmt.Sprintf("a - b < %d AND b < %d", 10+i, i), []string{"a"}, schema)
+	}
+
+	outs := make([]batchOutcome, len(reqs))
+	var wg sync.WaitGroup
+	for i, pr := range reqs {
+		wg.Add(1)
+		go func(i int, pr parsedRequest) {
+			defer wg.Done()
+			outs[i] = b.do(context.Background(), pr)
+		}(i, pr)
+	}
+	wg.Wait()
+
+	for i, out := range outs {
+		if out.err != nil {
+			t.Fatalf("member %d: %v", i, out.err)
+		}
+		if !out.batched {
+			t.Fatalf("member %d not marked batched", i)
+		}
+		if out.res == nil || !out.res.Valid {
+			t.Fatalf("member %d: invalid group result %+v", i, out.res)
+		}
+		if out.res.Optimal {
+			t.Fatalf("member %d: grouped result claims optimality", i)
+		}
+	}
+	if st := synth.Stats(); st.Misses != 1 {
+		t.Fatalf("group of 3 ran %d synthesis loops, want 1", st.Misses)
+	}
+	// Each member key was stored, so the recurring form of each request
+	// hits without another run.
+	for i, pr := range reqs {
+		if _, ok := synth.Peek(pr.key); !ok {
+			t.Fatalf("member %d: own cache key not warmed by the group run", i)
+		}
+	}
+}
+
+// TestBatcherSameKeyCoalesces: identical requests in one tick share one
+// run without a disjunction.
+func TestBatcherSameKeyCoalesces(t *testing.T) {
+	synth := cache.NewSynthesizer(64)
+	b := newBatcher(20*time.Millisecond, synth, 30*time.Second)
+	pr := mustParsed(t, "a - b < 20 AND b < 0", []string{"a"}, intSchema())
+
+	outs := make([]batchOutcome, 4)
+	var wg sync.WaitGroup
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = b.do(context.Background(), pr)
+		}(i)
+	}
+	wg.Wait()
+
+	cachedCount := 0
+	for i, out := range outs {
+		if out.err != nil || out.res == nil {
+			t.Fatalf("member %d: %v", i, out.err)
+		}
+		if out.batched {
+			t.Fatalf("member %d: single-key group marked as disjunction-batched", i)
+		}
+		if out.cached {
+			cachedCount++
+		}
+	}
+	if st := synth.Stats(); st.Misses != 1 {
+		t.Fatalf("4 identical requests ran %d loops, want 1", st.Misses)
+	}
+	if cachedCount != 3 {
+		t.Fatalf("%d members marked cached, want 3 (all but the runner)", cachedCount)
+	}
+}
+
+// TestBatcherZeroTickPassthrough: tick 0 disables grouping — each request
+// goes straight to the cache with the original coalescing semantics.
+func TestBatcherZeroTickPassthrough(t *testing.T) {
+	synth := cache.NewSynthesizer(64)
+	b := newBatcher(0, synth, 30*time.Second)
+	pr := mustParsed(t, "a - b < 20 AND b < 0", []string{"a"}, intSchema())
+
+	out := b.do(context.Background(), pr)
+	if out.err != nil || out.cached || out.batched {
+		t.Fatalf("first passthrough: %+v", out)
+	}
+	out = b.do(context.Background(), pr)
+	if out.err != nil || !out.cached {
+		t.Fatalf("second passthrough not a cache hit: %+v", out)
+	}
+}
+
+// TestGroupKeyExcludesPredicate: the group key depends on the target
+// columns and options, never the predicate text.
+func TestGroupKeyExcludesPredicate(t *testing.T) {
+	schema := intSchema()
+	p1 := mustParsed(t, "a < 10", []string{"a"}, schema)
+	p2 := mustParsed(t, "a - b < 3 AND b < 1", []string{"a"}, schema)
+	if groupKeyFor(p1) != groupKeyFor(p2) {
+		t.Fatal("same cols + options produced different group keys")
+	}
+	p3 := mustParsed(t, "a < 10", []string{"a", "b"}, schema)
+	if groupKeyFor(p1) == groupKeyFor(p3) {
+		t.Fatal("different target columns shared a group key")
+	}
+}
+
+// TestCompatibleUnionConflict: a request whose schema disagrees on a
+// column's type is excluded from the disjunction and runs solo.
+func TestCompatibleUnionConflict(t *testing.T) {
+	intS := intSchema()
+	dblS := predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeDouble, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeInteger, NotNull: true},
+	)
+	p1 := mustParsed(t, "a < 10", []string{"a"}, intS)
+	p2 := mustParsed(t, "a < 20", []string{"a"}, dblS)
+	p3 := mustParsed(t, "a < 30", []string{"a"}, intS)
+
+	order := []string{p1.key, p2.key, p3.key}
+	byKey := map[string][]*batchMember{
+		p1.key: {{req: p1}},
+		p2.key: {{req: p2}},
+		p3.key: {{req: p3}},
+	}
+	keys, schema := compatibleUnion(order, byKey)
+	if len(keys) != 2 || keys[0] != p1.key || keys[1] != p3.key {
+		t.Fatalf("union kept %v, want the two int-typed requests", keys)
+	}
+	if col, ok := schema.Lookup("a"); !ok || col.Type != predicate.TypeInteger {
+		t.Fatalf("merged schema column a: %+v", col)
+	}
+}

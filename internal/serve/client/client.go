@@ -1,0 +1,259 @@
+// Package client is the Go client for the siad v1 API — and the serving
+// tier's own intra-cluster transport: the peer fan-out a sharded replica
+// uses to proxy a request to its owner goes through exactly this code, so
+// external callers and the cluster itself exercise one path.
+//
+// Errors are sentinel-matchable with errors.Is, mirroring the library:
+// a 400-family response matches sia.ErrInvalidOptions, 429 matches
+// api.ErrOverloaded, 503 api.ErrUnavailable, 504 sia.ErrTimeout. Retries
+// (429/503 only, honoring Retry-After, with jitter) are on by default for
+// external use and disabled for intra-cluster forwarding, where the
+// ingress replica owns the retry budget.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sia/internal/serve/api"
+)
+
+// Client talks to one siad replica. Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	tenant  string
+	retries int           // additional attempts after the first
+	backoff time.Duration // base backoff when no Retry-After is given
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (defaults to a client with a
+// 2-minute overall timeout; per-request contexts still bound each call).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTenant sets the X-Sia-Tenant header on every request.
+func WithTenant(t string) Option { return func(c *Client) { c.tenant = t } }
+
+// WithRetries sets how many times a 429/503 answer is retried (default 2;
+// 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base delay used when a retryable answer carries no
+// Retry-After header (default 100ms, doubled per attempt, jittered).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New returns a client for the replica at baseURL (e.g.
+// "http://10.0.0.1:8080"; a bare host:port gets http://).
+func New(baseURL string, opts ...Option) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 2 * time.Minute},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Synthesize posts one synthesis request and decodes the result. The
+// returned error wraps the sentinel matching the response status.
+func (c *Client) Synthesize(ctx context.Context, req api.SynthesizeRequest) (*api.SynthesizeResponse, error) {
+	var out api.SynthesizeResponse
+	if err := c.call(ctx, api.PathSynthesize, req, &out, nil); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch posts several synthesis requests in one call; item i of the
+// response answers item i of the request.
+func (c *Client) Batch(ctx context.Context, req api.BatchRequest) (*api.BatchResponse, error) {
+	var out api.BatchResponse
+	if err := c.call(ctx, api.PathBatch, req, &out, nil); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the replica's serving statistics.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.PathStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET %s: %w", api.PathStats, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	var out api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding stats: %w", err)
+	}
+	return &out, nil
+}
+
+// ForwardMeta carries the proxy-relevant response metadata alongside a
+// forwarded result.
+type ForwardMeta struct {
+	// Status is the peer's HTTP status (set even when an error is
+	// returned, so the proxy can relay it).
+	Status int
+	// CacheOutcome is the peer's X-Sia-Cache header ("hit", "miss",
+	// "batched").
+	CacheOutcome string
+	// RetryAfter relays the peer's Retry-After header, when present.
+	RetryAfter string
+}
+
+// Forward posts req to the replica as an intra-cluster single-hop proxy:
+// the X-Sia-Forwarded header stops the peer from proxying again, tenant
+// accounting stays with the ingress replica, and no retries happen here
+// (the ingress replica decides whether to fail over to local synthesis).
+// On a non-200 answer the error carries the matching sentinel and meta
+// still reports the status for relaying.
+func (c *Client) Forward(ctx context.Context, req api.SynthesizeRequest, tenant string) (*api.SynthesizeResponse, ForwardMeta, error) {
+	var meta ForwardMeta
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, meta, fmt.Errorf("client: encoding request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+api.PathSynthesize, bytes.NewReader(body))
+	if err != nil {
+		return nil, meta, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(api.ForwardedHeader, "1")
+	if tenant != "" {
+		httpReq.Header.Set(api.TenantHeader, tenant)
+	}
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, meta, fmt.Errorf("client: forwarding: %w", err)
+	}
+	defer resp.Body.Close()
+	meta.Status = resp.StatusCode
+	meta.CacheOutcome = resp.Header.Get(api.CacheHeader)
+	meta.RetryAfter = resp.Header.Get(api.RetryAfterHeader)
+	if resp.StatusCode != http.StatusOK {
+		return nil, meta, statusError(resp)
+	}
+	var out api.SynthesizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, meta, fmt.Errorf("client: decoding forwarded response: %w", err)
+	}
+	return &out, meta, nil
+}
+
+// call posts body to path, retrying 429/503 per the client's budget.
+func (c *Client) call(ctx context.Context, path string, body, out any, extra http.Header) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		if c.tenant != "" {
+			httpReq.Header.Set(api.TenantHeader, c.tenant)
+		}
+		for k, vs := range extra {
+			for _, v := range vs {
+				httpReq.Header.Add(k, v)
+			}
+		}
+		resp, err := c.hc.Do(httpReq)
+		if err != nil {
+			return fmt.Errorf("client: POST %s: %w", path, err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			if err != nil {
+				return fmt.Errorf("client: decoding response: %w", err)
+			}
+			return nil
+		}
+		retryAfter := resp.Header.Get(api.RetryAfterHeader)
+		lastErr = statusError(resp)
+		resp.Body.Close()
+		if attempt >= c.retries || !retryable(resp.StatusCode) {
+			return lastErr
+		}
+		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			return fmt.Errorf("%w (last answer: %w)", err, lastErr)
+		}
+	}
+}
+
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// sleep waits the retry delay: Retry-After when the server named one,
+// otherwise exponential backoff from the base — both with ±50% jitter so
+// synchronized clients do not re-stampede on the same tick.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter string) error {
+	d := c.backoff << uint(attempt)
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+		if d == 0 {
+			d = c.backoff
+		}
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.rng.Float64() // 0.5x .. 1.5x
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("client: retry abandoned: %w", ctx.Err())
+	}
+}
+
+// statusError decodes the error body and wraps the sentinel for the
+// status. Body read errors degrade to the bare status text.
+func statusError(resp *http.Response) error {
+	var msg string
+	if raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil {
+		var e api.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		} else if len(raw) > 0 {
+			msg = strings.TrimSpace(string(raw))
+		}
+	}
+	return api.ErrorFor(resp.StatusCode, msg)
+}

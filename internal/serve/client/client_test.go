@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sia/internal/core"
+	"sia/internal/serve/api"
+)
+
+var wireReq = api.SynthesizeRequest{
+	Predicate: "a < 10",
+	Cols:      []string{"a"},
+	Schema:    []api.SchemaColumn{{Name: "a", Type: "int"}},
+}
+
+// TestRetryHonorsRetryAfter: a 429 with Retry-After is retried after
+// (roughly) that delay and the eventual 200 is returned.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gapNS atomic.Int64
+	var lastNS atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		now := time.Now().UnixNano()
+		if prev := lastNS.Swap(now); prev != 0 {
+			gapNS.Store(now - prev)
+		}
+		if n == 1 {
+			w.Header().Set(api.RetryAfterHeader, "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: "shed"})
+			return
+		}
+		json.NewEncoder(w).Encode(api.SynthesizeResponse{Valid: true, Predicate: "a < 10"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2))
+	resp, err := c.Synthesize(context.Background(), wireReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Valid || calls.Load() != 2 {
+		t.Fatalf("resp %+v after %d calls", resp, calls.Load())
+	}
+	// Retry-After: 1 with ±50% jitter means at least ~500ms between calls.
+	if gap := time.Duration(gapNS.Load()); gap < 400*time.Millisecond {
+		t.Fatalf("retry came after %v, ignored Retry-After: 1", gap)
+	}
+}
+
+// TestRetriesExhausted: persistent 503s surface as ErrUnavailable after
+// the retry budget, and the attempt count matches 1 + retries.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set(api.RetryAfterHeader, "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "draining"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	_, err := c.Synthesize(context.Background(), wireReq)
+	if !errors.Is(err, api.ErrUnavailable) {
+		t.Fatalf("error %v does not match ErrUnavailable", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + 2 retries)", n)
+	}
+}
+
+// TestNoRetryOn400: request-shape errors are terminal — one attempt, and
+// the error matches the library sentinel.
+func TestNoRetryOn400(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "bad predicate"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(5))
+	_, err := c.Synthesize(context.Background(), wireReq)
+	if !errors.Is(err, core.ErrInvalidOptions) {
+		t.Fatalf("error %v does not match ErrInvalidOptions", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("400 was retried %d times", n-1)
+	}
+}
+
+// TestForwardSingleHop: Forward marks the request with the forwarded
+// header, sends the tenant, never retries, and relays the peer's cache
+// outcome and status in the meta.
+func TestForwardSingleHop(t *testing.T) {
+	var calls atomic.Int64
+	var sawForwarded, sawTenant atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		sawForwarded.Store(r.Header.Get(api.ForwardedHeader) != "")
+		sawTenant.Store(r.Header.Get(api.TenantHeader) == "t9")
+		w.Header().Set(api.CacheHeader, "hit")
+		json.NewEncoder(w).Encode(api.SynthesizeResponse{Valid: true, Cached: true})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	resp, meta, err := c.Forward(context.Background(), wireReq, "t9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached || meta.Status != http.StatusOK || meta.CacheOutcome != "hit" {
+		t.Fatalf("resp %+v meta %+v", resp, meta)
+	}
+	if !sawForwarded.Load() {
+		t.Fatal("forwarded request missing the single-hop marker header")
+	}
+	if !sawTenant.Load() {
+		t.Fatal("forwarded request dropped the tenant header")
+	}
+
+	// A shedding peer is NOT retried by Forward; the meta relays the answer.
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set(api.RetryAfterHeader, "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "shed"})
+	}))
+	defer shed.Close()
+	calls.Store(0)
+	_, meta, err = New(shed.URL, WithRetries(5)).Forward(context.Background(), wireReq, "")
+	if !errors.Is(err, api.ErrOverloaded) {
+		t.Fatalf("shed forward error %v", err)
+	}
+	if meta.Status != http.StatusTooManyRequests || meta.RetryAfter != "7" {
+		t.Fatalf("shed meta %+v", meta)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("Forward retried a 429 (%d calls)", calls.Load())
+	}
+}
+
+// TestBareHostGetsScheme: a host:port base URL is usable as-is.
+func TestBareHostGetsScheme(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.StatsResponse{Requests: 42})
+	}))
+	defer ts.Close()
+
+	c := New(ts.Listener.Addr().String())
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 42 {
+		t.Fatalf("stats %+v", st)
+	}
+}

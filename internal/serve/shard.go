@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is the number of virtual nodes each peer contributes to the
+// consistent-hash ring. 64 points per peer keeps the maximum/minimum load
+// ratio within a few percent for small clusters while the ring stays tiny
+// (3 peers = 192 points).
+const ringVnodes = 64
+
+// ring is a consistent-hash map from cache keys to peer addresses. It is
+// immutable after construction, so lookups need no locking, and it is a
+// pure function of the sorted peer list: every replica configured with the
+// same -peers set computes the same owner for every key, which is what
+// makes single-hop forwarding sufficient.
+type ring struct {
+	points []ringPoint // sorted by hash
+	peers  []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// newRing builds the ring over peers (order-insensitive; duplicates and
+// empty strings are dropped). A nil or empty peer list returns nil: the
+// unsharded single-replica mode.
+func newRing(peers []string) *ring {
+	uniq := map[string]bool{}
+	var clean []string
+	for _, p := range peers {
+		if p != "" && !uniq[p] {
+			uniq[p] = true
+			clean = append(clean, p)
+		}
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	sort.Strings(clean)
+	r := &ring{peers: clean, points: make([]ringPoint, 0, len(clean)*ringVnodes)}
+	for _, p := range clean {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding vnode hashes resolve by peer name so the ring stays a
+		// pure function of the peer set.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// owner returns the peer owning key: the first ring point clockwise from
+// the key's hash.
+func (r *ring) owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// ringHash is 64-bit FNV-1a with a splitmix64-style avalanche finalizer.
+// The finalizer matters: vnode labels differ only in a short suffix
+// ("peer#0" … "peer#63"), and raw FNV leaves their hashes correlated
+// enough that one peer can own over half the ring. Full-avalanche mixing
+// of the FNV output restores the even spread consistent hashing assumes.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: the ring is a pure function of the peer set —
+// order and duplicates do not change any key's owner.
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+	a := newRing(peers)
+	b := newRing([]string{peers[2], peers[0], peers[1], peers[0], ""})
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("key %q: owner differs across equivalent rings: %q vs %q", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+// TestRingEmpty: no peers means unsharded mode, signalled by a nil ring.
+func TestRingEmpty(t *testing.T) {
+	if r := newRing(nil); r != nil {
+		t.Fatal("nil peer list built a ring")
+	}
+	if r := newRing([]string{"", ""}); r != nil {
+		t.Fatal("all-empty peer list built a ring")
+	}
+}
+
+// TestRingBalance: with 64 vnodes per peer, load across 3 peers stays
+// within a sane spread for uniform keys.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1"}
+	r := newRing(peers)
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("%x-key-%d", i*2654435761, i))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("peer %s owns %.1f%% of keys — ring badly unbalanced (%v)", p, share*100, counts)
+		}
+	}
+}
+
+// TestRingSingleOwner: every key has exactly one owner drawn from the
+// peer set, and repeated lookups agree.
+func TestRingSingleOwner(t *testing.T) {
+	peers := []string{"a:1", "b:1"}
+	r := newRing(peers)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		o := r.owner(k)
+		if o != peers[0] && o != peers[1] {
+			t.Fatalf("owner %q not in the peer set", o)
+		}
+		if r.owner(k) != o {
+			t.Fatalf("key %q: owner not stable", k)
+		}
+	}
+}

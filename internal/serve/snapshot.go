@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sia/internal/core"
+	"sia/internal/predicate"
+	"sia/internal/serve/api"
+)
+
+// snapshotVersion is bumped whenever the on-disk schema changes; a loader
+// refuses versions it does not understand (cold start, never a guess).
+const snapshotVersion = 1
+
+// snapshotFile is the on-disk form of a cache snapshot: a version, the
+// save time, and one entry per cached synthesis result, most recently
+// used first so a capacity-truncated restore keeps the hottest keys.
+type snapshotFile struct {
+	Version     int             `json:"version"`
+	SavedAtUnix int64           `json:"saved_at_unix"`
+	Entries     []snapshotEntry `json:"entries"`
+}
+
+// snapshotEntry serializes one result. The synthesized predicate travels
+// as SQL text plus the schema of its columns, which is exactly enough to
+// re-parse it at boot; counters and flags travel verbatim.
+type snapshotEntry struct {
+	Key          string             `json:"key"`
+	Predicate    string             `json:"predicate,omitempty"`
+	Schema       []api.SchemaColumn `json:"schema,omitempty"`
+	Valid        bool               `json:"valid"`
+	Optimal      bool               `json:"optimal"`
+	Iterations   int                `json:"iterations"`
+	TrueSamples  int                `json:"true_samples"`
+	FalseSamples int                `json:"false_samples"`
+	GaveUp       string             `json:"gave_up,omitempty"`
+}
+
+// schemaTable remembers, per cache key, the wire schema of the columns the
+// stored result's predicate mentions — the piece a snapshot needs that the
+// cache itself does not hold. It is pruned against the cache's live key
+// set at every snapshot write, so it cannot outgrow the cache by more
+// than the churn between two writes.
+type schemaTable struct {
+	mu   sync.Mutex
+	cols map[string][]api.SchemaColumn
+}
+
+func newSchemaTable() *schemaTable {
+	return &schemaTable{cols: map[string][]api.SchemaColumn{}}
+}
+
+// record stores the schema columns the result's predicate needs, derived
+// from the request schema. A nil result predicate records an empty set.
+func (t *schemaTable) record(key string, res *core.Result, schema *predicate.Schema) {
+	var cols []api.SchemaColumn
+	if res != nil && res.Predicate != nil {
+		for _, name := range predicate.Columns(res.Predicate) {
+			col, ok := schema.Lookup(name)
+			if !ok {
+				return // cannot reconstruct; leave unrecorded
+			}
+			cols = append(cols, api.SchemaColumn{
+				Name:     col.Name,
+				Type:     api.FormatType(col.Type),
+				Nullable: !col.NotNull,
+			})
+		}
+	}
+	t.mu.Lock()
+	t.cols[key] = cols
+	t.mu.Unlock()
+}
+
+func (t *schemaTable) lookup(key string) ([]api.SchemaColumn, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cols, ok := t.cols[key]
+	return cols, ok
+}
+
+// prune drops every key not in live.
+func (t *schemaTable) prune(live map[string]bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.cols {
+		if !live[k] {
+			delete(t.cols, k)
+		}
+	}
+}
+
+// writeSnapshot persists the cache to path atomically: the file is
+// written next to its destination and renamed into place, so a crash
+// mid-write leaves the previous snapshot intact and a reader never sees a
+// half-written file from this writer (truncation can still happen to the
+// machine — the loader treats it as a cold start).
+func (s *Server) writeSnapshot(path string) (int, error) {
+	entries := s.synth.Export()
+	live := make(map[string]bool, len(entries))
+	snap := snapshotFile{Version: snapshotVersion, SavedAtUnix: time.Now().Unix()}
+	for _, e := range entries {
+		live[e.Key] = true
+		cols, ok := s.schemas.lookup(e.Key)
+		if !ok {
+			continue // restored-then-evicted races or pre-table entries
+		}
+		se := snapshotEntry{
+			Key:          e.Key,
+			Schema:       cols,
+			Valid:        e.Res.Valid,
+			Optimal:      e.Res.Optimal,
+			Iterations:   e.Res.Iterations,
+			TrueSamples:  e.Res.TrueSamples,
+			FalseSamples: e.Res.FalseSamples,
+			GaveUp:       string(e.Res.GaveUp),
+		}
+		if e.Res.Predicate != nil {
+			se.Predicate = e.Res.Predicate.String()
+		}
+		snap.Entries = append(snap.Entries, se)
+	}
+	s.schemas.prune(live)
+
+	raw, err := json.Marshal(&snap)
+	if err != nil {
+		return 0, fmt.Errorf("serve: encoding snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".sia-snapshot-*")
+	if err != nil {
+		return 0, fmt.Errorf("serve: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("serve: writing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("serve: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("serve: publishing snapshot: %w", err)
+	}
+	return len(snap.Entries), nil
+}
+
+// loadSnapshot warms the cache from path. Any file-level problem — absent
+// file, truncation, garbage, an unknown version — results in a clean cold
+// start: (0, nil) for an absent file, (0, err) otherwise, never a panic.
+// Entries that individually fail to re-parse are skipped; the rest load.
+func (s *Server) loadSnapshot(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return 0, fmt.Errorf("serve: snapshot is corrupt (cold start): %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("serve: snapshot version %d (want %d); cold start", snap.Version, snapshotVersion)
+	}
+	n := 0
+	// Entries are saved MRU-first; load them coldest-first so Put leaves
+	// the hottest keys at the LRU front (and, past capacity, retained).
+	for i := len(snap.Entries) - 1; i >= 0; i-- {
+		e := snap.Entries[i]
+		if e.Key == "" {
+			continue
+		}
+		res := &core.Result{
+			Valid:        e.Valid,
+			Optimal:      e.Optimal,
+			Iterations:   e.Iterations,
+			TrueSamples:  e.TrueSamples,
+			FalseSamples: e.FalseSamples,
+			GaveUp:       core.GiveUpReason(e.GaveUp),
+		}
+		var schema *predicate.Schema
+		if e.Predicate != "" {
+			sch, err := api.BuildSchema(e.Schema)
+			if err != nil {
+				continue
+			}
+			p, err := predicate.Parse(e.Predicate, sch)
+			if err != nil {
+				continue
+			}
+			res.Predicate = p
+			schema = sch
+		} else {
+			schema = predicate.NewSchema()
+		}
+		s.synth.Put(e.Key, res)
+		s.schemas.record(e.Key, res, schema)
+		n++
+	}
+	return n, nil
+}

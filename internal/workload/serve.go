@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sia/internal/predicate"
+	"sia/internal/tpch"
+)
+
+// ServeConfig controls generation of a serving-tier workload: a stream of
+// synthesis requests the way a fleet of query optimizers would issue them
+// (the SynQL picture from §6.2 of the paper) — a pool of recurring query
+// templates hit with Zipf-skewed popularity, a fraction of never-seen-
+// before queries, and a mix of tenants with one dominating.
+type ServeConfig struct {
+	// N is the number of requests in the stream.
+	N int
+	// Templates is the size of the recurring-query pool.
+	Templates int
+	// Seed fixes the random stream; 0 uses a default.
+	Seed int64
+	// ZipfS is the Zipf skew exponent over the template pool (> 1; larger
+	// means the hot templates dominate more).
+	ZipfS float64
+	// RecurrenceRate is the fraction of requests that reuse a template
+	// verbatim; the remainder are fresh queries never seen again.
+	RecurrenceRate float64
+	// Tenants is the number of distinct tenants; requests are assigned
+	// Zipf-skewed so tenant-0 is the heavy one.
+	Tenants int
+	// MinTerms and MaxTerms bound conjunction sizes (defaults 3–8).
+	MinTerms, MaxTerms int
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.N == 0 {
+		c.N = 1000
+	}
+	if c.Templates == 0 {
+		c.Templates = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 20210620
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.07
+	}
+	if c.RecurrenceRate == 0 {
+		c.RecurrenceRate = 0.9
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 4
+	}
+	if c.MinTerms == 0 {
+		c.MinTerms = 3
+	}
+	if c.MaxTerms == 0 {
+		c.MaxTerms = 8
+	}
+	return c
+}
+
+// ServeRequest is one element of the serving stream.
+type ServeRequest struct {
+	// Tenant identifies the issuing tenant ("tenant-0" is the heavy one).
+	Tenant string
+	// Query is the underlying benchmark query.
+	Query Query
+	// Cols are the synthesis target columns for this query.
+	Cols []string
+	// Template is the template index for recurring requests, -1 for fresh
+	// queries.
+	Template int
+}
+
+// Schema returns the schema serving requests are expressed over (the
+// TPC-H lineitem ⋈ orders join schema used by the whole benchmark).
+func ServeSchema() *predicate.Schema { return tpch.JoinSchema() }
+
+// GenerateServe produces the serving stream. All queries (templates and
+// fresh ones) are drawn by the same satisfiable-conjunction generator as
+// the paper benchmark; each template keeps a fixed target-column subset so
+// its recurrences share one cache key.
+func GenerateServe(cfg ServeConfig) []ServeRequest {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	fresh := int(float64(cfg.N)*(1-cfg.RecurrenceRate)) + 1
+	pool := Generate(Config{
+		N:        cfg.Templates + fresh,
+		Seed:     cfg.Seed + 1,
+		MinTerms: cfg.MinTerms,
+		MaxTerms: cfg.MaxTerms,
+	})
+	templates, freshPool := pool[:cfg.Templates], pool[cfg.Templates:]
+
+	// Per-template target columns: a non-empty subset of the lineitem date
+	// columns the template's predicate actually mentions (synthesis
+	// requires every target to occur in the predicate), fixed for the
+	// template's lifetime.
+	targetsFor := func(q Query) []string {
+		var present []string
+		mentioned := map[string]bool{}
+		for _, n := range predicate.Columns(q.Pred) {
+			mentioned[n] = true
+		}
+		for _, c := range LineitemDateCols {
+			if mentioned[c] {
+				present = append(present, c)
+			}
+		}
+		if len(present) == 0 {
+			// Every template shape references o_orderdate and at least one
+			// lineitem column, so this cannot happen; fall back defensively.
+			return []string{"o_orderdate"}
+		}
+		subsets := colSubsetsOf(present)
+		return subsets[rng.Intn(len(subsets))]
+	}
+	tmplCols := make([][]string, cfg.Templates)
+	for i := range tmplCols {
+		tmplCols[i] = targetsFor(templates[i])
+	}
+
+	tmplZipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Templates-1))
+	tenantZipf := rand.NewZipf(rng, 1.3, 1, uint64(cfg.Tenants-1))
+
+	out := make([]ServeRequest, 0, cfg.N)
+	nextFresh := 0
+	for i := 0; i < cfg.N; i++ {
+		req := ServeRequest{Tenant: fmt.Sprintf("tenant-%d", tenantZipf.Uint64())}
+		if rng.Float64() < cfg.RecurrenceRate || nextFresh >= len(freshPool) {
+			t := int(tmplZipf.Uint64())
+			req.Query = templates[t]
+			req.Cols = tmplCols[t]
+			req.Template = t
+		} else {
+			req.Query = freshPool[nextFresh]
+			req.Cols = targetsFor(req.Query)
+			req.Template = -1
+			nextFresh++
+		}
+		out = append(out, req)
+	}
+	return out
+}
+
+// colSubsetsOf returns every non-empty subset of cols.
+func colSubsetsOf(cols []string) [][]string {
+	var out [][]string
+	for mask := 1; mask < 1<<len(cols); mask++ {
+		var sub []string
+		for i, c := range cols {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, c)
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
