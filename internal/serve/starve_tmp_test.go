@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sia/internal/cache"
+	"sia/internal/predicate"
+)
+
+// Scenario: two distinct predicates land in one batch group (same target
+// column subset), but their schemas conflict on a non-target predicate
+// column, so compatibleUnion keeps exactly one key. fire() then neither
+// runs the disjunction (len(keys) < 2) nor the solo path (key is in keys).
+func TestStarveSingleCompatibleKey(t *testing.T) {
+	synth := cache.NewSynthesizer(64)
+	b := newBatcher(20*time.Millisecond, synth, 30*time.Second)
+
+	intS := predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeInteger, NotNull: true},
+	)
+	dblS := predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeDouble, NotNull: true},
+	)
+	p1 := mustParsed(t, "a - b < 5 AND b < 1", []string{"a"}, intS)
+	p2 := mustParsed(t, "a - b < 3 AND b < 1", []string{"a"}, dblS)
+	if groupKeyFor(p1) != groupKeyFor(p2) {
+		t.Fatalf("requests did not share a group key; scenario invalid")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var out1, out2 batchOutcome
+	wg.Add(2)
+	go func() { defer wg.Done(); out1 = b.do(ctx, p1) }()
+	go func() { defer wg.Done(); out2 = b.do(ctx, p2) }()
+	wg.Wait()
+
+	t.Logf("out1 (compatible member): err=%v res=%v", out1.err, out1.res != nil)
+	t.Logf("out2 (conflicting member): err=%v res=%v", out2.err, out2.res != nil)
+	if out1.err != nil {
+		t.Fatalf("compatible member starved: %v", out1.err)
+	}
+}
