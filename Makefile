@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine race-serve race-smt lint lint-json lint-sarif lint-alloc lint-self memo-report bench-smt bench-serve fuzz-smoke smoke-siad smoke-cluster check clean
+.PHONY: build vet test race race-engine race-serve race-smt lint lint-json lint-sarif lint-alloc lint-concurrency lint-self memo-report bench-smt bench-serve fuzz-smoke smoke-siad smoke-cluster check clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ lint-sarif:
 lint-alloc:
 	$(GO) run ./cmd/sialint -enable alloc-budget,memo-safe ./...
 
+# Concurrency-safety and untrusted-input gate: goroutine lifetimes,
+# atomic/plain access mixing, channel-state protocol, and request-derived
+# values flowing unbounded into timeouts, loop bounds and allocations.
+lint-concurrency:
+	$(GO) run ./cmd/sialint -enable goroutine-leak,atomic-mix,chan-misuse,taint-bound ./...
+
 # Self-hosting: the analyzers must hold their own code to the same
 # standard they impose on the rest of the repo.
 lint-self:
@@ -87,7 +93,7 @@ smoke-cluster:
 	./scripts/smoke-cluster.sh
 
 # check is the full CI gate: everything must pass before merging.
-check: build vet race race-engine race-serve race-smt lint lint-alloc lint-self smoke-siad smoke-cluster
+check: build vet race race-engine race-serve race-smt lint lint-alloc lint-concurrency lint-self smoke-siad smoke-cluster
 
 clean:
 	$(GO) clean ./...

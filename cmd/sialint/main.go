@@ -21,6 +21,17 @@
 //	memo-safe          // sia:memoize functions are memoization-pure: no
 //	                   global writes, argument mutation, nondeterminism, or
 //	                   map-iteration-order leaks (interprocedural)
+//	goroutine-leak     every go statement's body reaches termination on all
+//	                   CFG paths: loops poll ctx/done or a channel, or carry
+//	                   a // goroutine: reason (interprocedural)
+//	atomic-mix         no variable is accessed both via sync/atomic and by
+//	                   plain read/write (whole-program field summaries)
+//	chan-misuse        channel-state dataflow: send-after-close, double
+//	                   close, nil-channel ops, close-by-non-owner, select
+//	                   loops spinning on a closed channel
+//	taint-bound        request-derived values are clamped/validated before
+//	                   becoming timeouts, budgets, loop bounds, allocation
+//	                   sizes, or Options fields (// taint: escapes)
 //
 // Usage:
 //

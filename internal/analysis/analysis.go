@@ -76,6 +76,33 @@ type Config struct {
 	// LockPackages are the package paths subject to the path-sensitive
 	// lock-balance analyzer (double-lock, return with a held mutex).
 	LockPackages []string
+
+	// GoroutinePackages are the package paths whose go statements are
+	// subject to the goroutine-leak analyzer: every launched body (and
+	// everything it reaches inside this package set) must terminate on all
+	// CFG paths — by polling cancellation or a channel on every cycle of
+	// every while-style loop — or carry a `// goroutine:` justification.
+	GoroutinePackages []string
+
+	// TaintPackages are the package paths swept by the taint-bound
+	// analyzer: request-derived values must pass a clamp or sanitizer
+	// before reaching a timeout, allocation size, loop bound, or a field
+	// of a TaintBoundTypes value.
+	TaintPackages []string
+
+	// TaintSources are the fully qualified struct types ("pkgpath.Name")
+	// whose field reads produce tainted (request-controlled) values.
+	TaintSources []string
+
+	// TaintSanitizers are function or method names whose call returns a
+	// clean value and scrubs its receiver (validators and clamps such as
+	// Options.Validate or api.BuildOptions).
+	TaintSanitizers []string
+
+	// TaintBoundTypes are the fully qualified types whose fields must
+	// never be assigned a tainted value directly (e.g. core.Options —
+	// request options must go through a sanitizer).
+	TaintBoundTypes []string
 }
 
 // DefaultConfig returns the configuration for the Sia module itself.
@@ -105,6 +132,27 @@ func DefaultConfig() *Config {
 			"sia/internal/cache",
 		},
 		LockPackages: []string{"sia/internal/engine", "sia/internal/cache"},
+		GoroutinePackages: []string{
+			"sia/internal/serve",
+			"sia/internal/serve/client",
+			"sia/internal/cache",
+			"sia/internal/obs",
+			"sia/internal/experiments",
+			"sia/internal/workload",
+			"sia/internal/engine",
+			"sia/internal/smt",
+			"sia/internal/core",
+			"sia/cmd/siad",
+		},
+		TaintPackages: []string{"sia/internal/serve", "sia/cmd/siad"},
+		TaintSources: []string{
+			"sia/internal/serve/api.SynthesizeRequest",
+			"sia/internal/serve/api.RequestOptions",
+			"sia/internal/serve/api.BatchRequest",
+			"sia/internal/serve/api.SchemaColumn",
+		},
+		TaintSanitizers: []string{"Validate", "BuildOptions", "BuildSchema"},
+		TaintBoundTypes: []string{"sia/internal/core.Options"},
 	}
 }
 
@@ -170,6 +218,10 @@ func Analyzers(cfg *Config) []*Analyzer {
 		WgBalance(cfg),
 		AllocBudget(cfg),
 		MemoSafe(cfg),
+		GoroutineLeak(cfg),
+		AtomicMix(cfg),
+		ChanMisuse(cfg),
+		TaintBound(cfg),
 	}
 }
 

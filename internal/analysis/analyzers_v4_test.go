@@ -1,0 +1,72 @@
+package analysis
+
+import "testing"
+
+// Tests for the concurrency-safety and untrusted-input analyzers:
+// goroutine-leak, atomic-mix, chan-misuse, taint-bound. Same discipline
+// as the rest of the suite: a good fixture with zero findings, a bad
+// fixture with an exact count plus message substrings.
+
+func goroCfg(mod string) *Config {
+	return &Config{GoroutinePackages: []string{mod + "/worker"}}
+}
+
+func TestGoroutineLeakGood(t *testing.T) {
+	cfg := goroCfg("glgood")
+	got := runOne(t, "goroleak_good", cfg, GoroutineLeak(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestGoroutineLeakBad(t *testing.T) {
+	cfg := goroCfg("glbad")
+	got := runOne(t, "goroleak_bad", cfg, GoroutineLeak(cfg))
+	wantFindings(t, got, 3, "can run forever", "wg.Wait hangs")
+}
+
+func TestAtomicMixGood(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "atomicmix_good", cfg, AtomicMix(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestAtomicMixBad(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "atomicmix_bad", cfg, AtomicMix(cfg))
+	wantFindings(t, got, 3, "plain read", "plain write", "sync/atomic")
+}
+
+func TestChanMisuseGood(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "chanmisuse_good", cfg, ChanMisuse(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestChanMisuseBad(t *testing.T) {
+	cfg := &Config{}
+	got := runOne(t, "chanmisuse_bad", cfg, ChanMisuse(cfg))
+	wantFindings(t, got, 5,
+		"after it is closed", "already closed", "does not own",
+		"busy spin", "nil on this path")
+}
+
+func taintCfg(mod string) *Config {
+	return &Config{
+		TaintPackages:   []string{mod + "/serve"},
+		TaintSources:    []string{mod + "/api.Request"},
+		TaintSanitizers: []string{"Validate", "BuildOptions"},
+		TaintBoundTypes: []string{mod + "/core.Options"},
+	}
+}
+
+func TestTaintBoundGood(t *testing.T) {
+	cfg := taintCfg("tagood")
+	got := runOne(t, "taintbound_good", cfg, TaintBound(cfg))
+	wantFindings(t, got, 0)
+}
+
+func TestTaintBoundBad(t *testing.T) {
+	cfg := taintCfg("tabad")
+	got := runOne(t, "taintbound_bad", cfg, TaintBound(cfg))
+	wantFindings(t, got, 5,
+		"WithTimeout", "make() size", "loop bound", "MaxIterations", "literal")
+}

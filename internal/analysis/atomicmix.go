@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix flags variables — struct fields and package-level vars — that
+// are accessed both through sync/atomic and by plain reads or writes. An
+// atomic.AddInt64 on one side and a bare `s.n++` on the other is the
+// classic race that -race only catches when the schedule cooperates: the
+// plain access tears the atomicity discipline for every site, not just
+// its own.
+//
+// The analysis is whole-program: access summaries are collected per
+// variable across every package in the module (the loader type-checks
+// each package once, so a field's *types.Var is identical from every
+// importer), then every plain access to a variable that also has atomic
+// accesses is reported, citing one atomic site as the witness. Addresses
+// passed to sync/atomic calls are not themselves plain accesses.
+//
+// The analyzer is deliberately indifferent to mutexes: a field mixed
+// between atomic ops and mutex-guarded plain access is still mixed — the
+// mutex does not order the plain access against the atomic one unless
+// every atomic site also takes it, which defeats the point of atomics.
+// Escape with `// atomic: <reason>` on the plain access when the mix is
+// provably benign (e.g. a plain read before the goroutines exist).
+func AtomicMix(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "atomic-mix",
+		Doc:  "variables accessed both via sync/atomic and by plain read/write",
+		Run: func(pass *Pass) {
+			prog := pass.Program()
+			st := prog.atomicAnalysis()
+			for _, f := range st.findings[pass.Pkg] {
+				if reason, ok := pass.Pkg.justification(f.pos, "atomic:"); ok && reason != "" {
+					continue
+				}
+				pass.Reportf(f.pos, "%s", f.msg)
+			}
+		},
+	}
+}
+
+// atomicAccess is one access site to a tracked variable.
+type atomicAccess struct {
+	pkg   *Package
+	pos   token.Pos
+	write bool // plain accesses only: assignment, ++/--, or address-taken
+}
+
+// atomicFinding is one report, pre-resolved to the package that owns the
+// plain-access site so per-package passes can replay it.
+type atomicFinding struct {
+	pos token.Pos
+	msg string
+}
+
+type atomicState struct {
+	findings map[*Package][]atomicFinding
+}
+
+// atomicAnalysis collects per-variable access summaries across the whole
+// program once and caches the verdicts.
+func (p *Program) atomicAnalysis() *atomicState {
+	p.atomicOnce.Do(func() {
+		st := &atomicState{findings: map[*Package][]atomicFinding{}}
+		atomicSites := map[*types.Var][]atomicAccess{}
+		plainSites := map[*types.Var][]atomicAccess{}
+		// skip marks expression nodes that are the &x argument of a
+		// sync/atomic call (or the receiver chain under it): the atomic
+		// access itself, not a plain one.
+		skip := map[ast.Node]bool{}
+
+		// Phase 1: find every sync/atomic call and record which variable
+		// its address argument names.
+		for _, pkg := range p.Pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !isSyncAtomicCall(pkg, call) {
+						return true
+					}
+					if len(call.Args) == 0 {
+						return true
+					}
+					addr, ok := call.Args[0].(*ast.UnaryExpr)
+					if !ok || addr.Op != token.AND {
+						return true
+					}
+					if v := resolveVar(pkg, addr.X); v != nil {
+						atomicSites[v] = append(atomicSites[v], atomicAccess{pkg: pkg, pos: call.Pos()})
+						skip[addr] = true
+					}
+					return true
+				})
+			}
+		}
+		if len(atomicSites) == 0 {
+			p.atomicMix = st
+			return
+		}
+
+		// Phase 2: every other use of those variables is a plain access.
+		for _, pkg := range p.Pkgs {
+			for _, file := range pkg.Files {
+				writes := collectWrites(file)
+				ast.Inspect(file, func(n ast.Node) bool {
+					if skip[n] {
+						return false
+					}
+					e, ok := n.(ast.Expr)
+					if !ok {
+						return true
+					}
+					v := resolveVar(pkg, e)
+					if v == nil || atomicSites[v] == nil {
+						return true
+					}
+					plainSites[v] = append(plainSites[v], atomicAccess{
+						pkg: pkg, pos: e.Pos(), write: writes[n],
+					})
+					return false // don't double-count the base of a selector
+				})
+			}
+		}
+
+		// Verdicts: each plain site of a mixed variable is a finding.
+		vars := make([]*types.Var, 0, len(plainSites))
+		for v := range plainSites {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+		for _, v := range vars {
+			witness := atomicSites[v][0]
+			for _, site := range plainSites[v] {
+				kind := "read"
+				if site.write {
+					kind = "write"
+				}
+				msg := fmt.Sprintf(
+					"plain %s of %q, which is also accessed via sync/atomic (e.g. at %s); use the atomic API everywhere or justify with // atomic:",
+					kind, v.Name(), shortSite(witness.pkg, witness.pos))
+				st.findings[site.pkg] = append(st.findings[site.pkg], atomicFinding{pos: site.pos, msg: msg})
+			}
+		}
+		p.atomicMix = st
+	})
+	return p.atomicMix
+}
+
+// isSyncAtomicCall reports whether call is atomic.XXX(...) where the
+// package identifier resolves to the real sync/atomic import.
+func isSyncAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// resolveVar maps an expression to the variable it names: a struct field
+// (through a selector) or a package-level var. Locals are skipped — a
+// local mixed with atomics inside one function is visible to -race and
+// out of scope here.
+func resolveVar(pkg *Package, e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if selInfo, ok := pkg.Info.Selections[x]; ok {
+			if v, ok := selInfo.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Qualified identifier pkg.Var.
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// collectWrites marks expression nodes that appear in write position:
+// assignment LHS, ++/--, or with their address taken (a conservative
+// write — the pointer can store through it).
+func collectWrites(file *ast.File) map[ast.Node]bool {
+	writes := map[ast.Node]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				writes[lhs] = true
+			}
+		case *ast.IncDecStmt:
+			writes[x.X] = true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				writes[x.X] = true
+			}
+		}
+		return true
+	})
+	return writes
+}

@@ -150,6 +150,12 @@ type Program struct {
 
 	memoOnce sync.Once
 	memo     *memoState // memo-safety results, built by memoAnalysis
+
+	goroOnce sync.Once
+	goro     *goroState // goroutine-leak results, built by goroAnalysis
+
+	atomicOnce sync.Once
+	atomicMix  *atomicState // atomic-mix results, built by atomicAnalysis
 }
 
 // NodeOf returns the node for a declared function or method (following

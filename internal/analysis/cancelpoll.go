@@ -82,7 +82,6 @@ func (pass *Pass) checkCancelLoops(body *ast.BlockStmt) {
 // avoids every polling statement. It searches the natural-loop subgraph for
 // a path head -> ... -> head that only crosses non-polling blocks.
 func (pass *Pass) hasUnpolledCycle(g *CFG, loop *Loop) bool {
-	members := g.LoopMembers(loop)
 	polls := func(b *Block) bool {
 		for _, n := range b.Nodes {
 			if pass.nodePolls(n) {
@@ -91,6 +90,14 @@ func (pass *Pass) hasUnpolledCycle(g *CFG, loop *Loop) bool {
 		}
 		return false
 	}
+	return hasCycleAvoiding(g, loop, polls)
+}
+
+// hasCycleAvoiding reports whether some cycle through the loop's head
+// avoids every block satisfying polls — the shared engine behind
+// cancel-poll and goroutine-leak, which differ only in the predicate.
+func hasCycleAvoiding(g *CFG, loop *Loop, polls func(*Block) bool) bool {
+	members := g.LoopMembers(loop)
 	if polls(loop.Head) {
 		return false
 	}

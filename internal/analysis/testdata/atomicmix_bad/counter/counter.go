@@ -1,0 +1,37 @@
+// Package counter mixes sync/atomic with plain accesses on the same
+// field and on a package-level var — the race class -race only catches
+// when schedules cooperate.
+package counter
+
+import "sync/atomic"
+
+type Stats struct {
+	hits  int64
+	total int64
+}
+
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Snapshot reads hits without the atomic API: flagged.
+func (s *Stats) Snapshot() int64 {
+	return s.hits
+}
+
+// Reset writes hits without the atomic API: flagged.
+func (s *Stats) Reset() {
+	s.hits = 0
+}
+
+// Bump uses total consistently without atomics: not mixed, not flagged.
+func (s *Stats) Bump() {
+	s.total++
+}
+
+// Ops is accessed atomically here and plainly from the view package.
+var Ops int64
+
+func BumpOps() {
+	atomic.AddInt64(&Ops, 1)
+}

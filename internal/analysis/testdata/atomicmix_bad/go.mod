@@ -1,0 +1,3 @@
+module ambad
+
+go 1.22

@@ -1,0 +1,10 @@
+// Package view reads counter.Ops plainly from another package: the mix
+// is only visible to a whole-program analysis.
+package view
+
+import "ambad/counter"
+
+// Peek reads the atomically-updated counter without the atomic API: flagged.
+func Peek() int64 {
+	return counter.Ops
+}

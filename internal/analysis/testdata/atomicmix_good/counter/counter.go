@@ -1,0 +1,33 @@
+// Package counter uses sync/atomic consistently: every access to an
+// atomically-managed field goes through the atomic API, non-atomic fields
+// are untouched by it, and the one pre-publication plain write carries a
+// justification.
+package counter
+
+import "sync/atomic"
+
+type Stats struct {
+	hits int64
+	name string
+}
+
+func (s *Stats) Inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *Stats) Get() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Label reads a field that has no atomic accesses: not mixed.
+func (s *Stats) Label() string {
+	return s.name
+}
+
+// NewStats writes hits before the struct is shared.
+func NewStats(seed int64) *Stats {
+	s := &Stats{name: "stats"}
+	// atomic: single-threaded init — the struct is not yet published.
+	s.hits = seed
+	return s
+}

@@ -1,0 +1,3 @@
+module amgood
+
+go 1.22

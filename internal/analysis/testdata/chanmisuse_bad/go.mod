@@ -1,0 +1,3 @@
+module cmbad
+
+go 1.22

@@ -1,0 +1,46 @@
+// Package pipe holds the channel misuses chan-misuse must flag:
+// send-after-close, double-close, closing a channel the function does
+// not own, a select loop spinning on a closed channel, and a send on a
+// nil channel.
+package pipe
+
+// SendAfterClose sends on a channel already closed on this path: panics.
+func SendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1
+}
+
+// DoubleClose closes the same channel twice: panics.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+
+// CloseParam closes a channel it did not make.
+func CloseParam(done chan struct{}) {
+	close(done)
+}
+
+// SpinClosed keeps selecting on a channel closed before the loop: the
+// case fires instantly with zero values on every iteration.
+func SpinClosed(work chan int) int {
+	quit := make(chan struct{})
+	close(quit)
+	n := 0
+	for {
+		select {
+		case <-quit:
+			n++
+		case v := <-work:
+			n += v
+		}
+	}
+}
+
+// NilSend sends on the zero-value channel: blocks forever.
+func NilSend() {
+	var ch chan int
+	ch <- 2
+}

@@ -1,0 +1,3 @@
+module cmgood
+
+go 1.22

@@ -1,0 +1,65 @@
+// Package pipe exercises the channel lifecycles chan-misuse accepts:
+// owner close after the last send, comma-ok draining, select loops with
+// the ok-form on closable channels, deliberate nil cases inside select,
+// and a justified ownership transfer.
+package pipe
+
+// Owner makes the channel, sends, and closes it exactly once.
+func Owner(vals []int) <-chan int {
+	ch := make(chan int, len(vals))
+	for _, v := range vals {
+		ch <- v
+	}
+	close(ch)
+	return ch
+}
+
+// Drain empties a possibly-closed channel with the comma-ok form.
+func Drain(ch chan int) int {
+	total := 0
+	for {
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// Worker's select uses the ok-form on the channel that can close.
+func Worker(quit chan struct{}, in chan int) int {
+	n := 0
+	for {
+		select {
+		case _, ok := <-quit:
+			if !ok {
+				return n
+			}
+		case v := <-in:
+			n += v
+		}
+	}
+}
+
+// Disable keeps a nil channel in a select to park that case — the
+// standard idiom; a nil comm in a select never fires and never reports.
+func Disable(in chan int) int {
+	n := 0
+	var timer chan int
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-in:
+			n += v
+		case v := <-timer:
+			n += v
+		}
+	}
+	return n
+}
+
+// HandOff documents an ownership transfer before closing a parameter.
+func HandOff(done chan struct{}) {
+	// chan: ownership transferred — the caller hands done to exactly one
+	// worker, which signals completion by closing it.
+	close(done)
+}

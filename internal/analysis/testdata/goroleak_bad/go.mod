@@ -1,0 +1,3 @@
+module glbad
+
+go 1.22

@@ -1,0 +1,48 @@
+// Package worker holds the goroutine leaks goroutine-leak must flag: a
+// direct spin loop, a leak one call away through the call graph, and a
+// joined goroutine whose spin also hangs the launcher at Wait.
+package worker
+
+import "sync"
+
+type Server struct {
+	active bool
+	n      int
+}
+
+// Spin launches a goroutine whose loop never polls anything.
+func Spin() {
+	x := 0
+	go func() {
+		for {
+			x++
+		}
+	}()
+}
+
+// loop never polls a termination signal; Indirect reaches it through the
+// call graph.
+func (s *Server) loop() {
+	for s.active {
+		s.n++
+	}
+}
+
+func (s *Server) Indirect() {
+	go s.loop()
+}
+
+// Joined spins inside a wg-joined goroutine: the launcher hangs with it.
+func Joined(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for total < 100 {
+			total += len(items)
+		}
+	}()
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,3 @@
+module glgood
+
+go 1.22

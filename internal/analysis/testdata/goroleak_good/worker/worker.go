@@ -1,0 +1,94 @@
+// Package worker exercises the goroutine shapes goroutine-leak accepts:
+// select-polled loops, ctx-polled loops reached through the call graph,
+// counted loops, channel ranges, joined goroutines over bounded work, and
+// a justified escape.
+package worker
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	done chan struct{}
+	in   chan int
+	out  []int
+}
+
+// Pump's loop polls the done channel via select on every cycle.
+func (s *Server) Pump() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.in:
+				s.out = append(s.out, v)
+			}
+		}
+	}()
+}
+
+// run polls ctx on every cycle; Start reaches it through the call graph.
+func (s *Server) run(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		s.step()
+	}
+}
+
+func (s *Server) step() {}
+
+func (s *Server) Start(ctx context.Context) {
+	go s.run(ctx)
+}
+
+// Drain ranges over a channel: the loop ends when the channel closes.
+func (s *Server) Drain() {
+	go func() {
+		for v := range s.in {
+			s.out = append(s.out, v)
+		}
+	}()
+}
+
+// Bounded runs a counted three-clause loop.
+func Bounded(n int) {
+	go func() {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += i
+		}
+		_ = sum
+	}()
+}
+
+// Busy carries a justification the analyzer honors at the launch site.
+func Busy() {
+	done := false
+	// goroutine: test double — the loop flips done on its first pass.
+	go func() {
+		for !done {
+			done = true
+		}
+	}()
+}
+
+// Joined launches a goroutine over bounded work and waits for it.
+func Joined(items []int) int {
+	var (
+		wg  sync.WaitGroup
+		sum int
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range items {
+			sum += v
+		}
+	}()
+	wg.Wait()
+	return sum
+}

@@ -1,0 +1,9 @@
+// Package api holds the wire-request struct the taint-bound fixture
+// treats as untrusted input.
+package api
+
+type Request struct {
+	TimeoutMS int64
+	N         int64
+	Items     []string
+}

@@ -1,0 +1,9 @@
+// Package core holds the protected Options type.
+package core
+
+type Options struct {
+	MaxIterations int
+	Timeout       int64
+}
+
+func (o *Options) Validate() error { return nil }

@@ -1,0 +1,3 @@
+module tabad
+
+go 1.22

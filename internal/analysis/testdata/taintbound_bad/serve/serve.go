@@ -1,0 +1,47 @@
+// Package serve holds the unclamped request-derived flows taint-bound
+// must flag: a tenant-chosen deadline, allocation size, loop bound, and
+// solver options written straight off the wire.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"tabad/api"
+	"tabad/core"
+)
+
+// Timeout arms the request deadline with no clamp: flagged.
+func Timeout(ctx context.Context, req *api.Request) {
+	d := time.Duration(req.TimeoutMS) * time.Millisecond
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	_ = ctx
+}
+
+// Alloc sizes a buffer straight from the request: flagged.
+func Alloc(req *api.Request) []byte {
+	return make([]byte, req.N)
+}
+
+// LoopBound iterates a request-chosen count: flagged.
+func LoopBound(req *api.Request) int {
+	n := 0
+	for i := int64(0); i < req.N; i++ {
+		n++
+	}
+	return n
+}
+
+// RawOptions writes a request field into the protected Options type with
+// no validation: flagged.
+func RawOptions(req *api.Request) core.Options {
+	var o core.Options
+	o.MaxIterations = int(req.N)
+	return o
+}
+
+// LiteralOptions builds Options straight from the wire: flagged.
+func LiteralOptions(req *api.Request) core.Options {
+	return core.Options{Timeout: req.TimeoutMS}
+}

@@ -1,0 +1,19 @@
+// Package core holds the protected Options type and its sanctioned
+// constructors.
+package core
+
+type Options struct {
+	MaxIterations int
+	Timeout       int64
+}
+
+func (o *Options) Validate() error { return nil }
+
+// BuildOptions is the sanctioned path from wire values to Options: it
+// clamps internally, so its result is trusted.
+func BuildOptions(n int64) (Options, error) {
+	if n > 1000 {
+		n = 1000
+	}
+	return Options{MaxIterations: int(n)}, nil
+}

@@ -1,0 +1,3 @@
+module tagood
+
+go 1.22

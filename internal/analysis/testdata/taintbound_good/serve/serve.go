@@ -1,0 +1,70 @@
+// Package serve exercises the clean flows taint-bound accepts: the clamp
+// idiom before a deadline, the sanctioned Options constructor, a local
+// clamp before a protected field write, the min builtin as a cap, a
+// sanitizer scrubbing its receiver, and a justified escape.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"tagood/api"
+	"tagood/core"
+)
+
+const maxTimeout = 5 * time.Second
+
+// Clamped caps the request deadline against the server maximum before
+// arming it — the module's clamp idiom: the overwrite cleans the value.
+func Clamped(ctx context.Context, req *api.Request) {
+	d := time.Duration(req.TimeoutMS) * time.Millisecond
+	if d <= 0 || d > maxTimeout {
+		d = maxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	_ = ctx
+}
+
+// Built routes request fields through the sanctioned constructor.
+func Built(req *api.Request) (core.Options, error) {
+	return core.BuildOptions(req.N)
+}
+
+// Bounded clamps locally before the value lands in a protected field.
+func Bounded(req *api.Request) core.Options {
+	n := int(req.N)
+	if n > 1000 {
+		n = 1000
+	}
+	var o core.Options
+	o.MaxIterations = n
+	return o
+}
+
+// MinClamp bounds an allocation with the min builtin.
+func MinClamp(req *api.Request) []byte {
+	return make([]byte, min(req.N, 4096))
+}
+
+type plan struct {
+	budget int64
+}
+
+func (p *plan) Validate() error { return nil }
+
+// Scrubbed taints a local struct, then the validator scrubs it before
+// the allocation.
+func Scrubbed(req *api.Request) []byte {
+	var p plan
+	p.budget = req.N
+	p.Validate()
+	return make([]byte, p.budget)
+}
+
+// Escaped documents a bound the analyzer cannot see.
+func Escaped(req *api.Request) []int64 {
+	// taint: the wire decoder rejects payloads with more than 1024 items
+	// before this function can run.
+	return make([]int64, len(req.Items))
+}

@@ -215,6 +215,8 @@ func (c *Cache) insert(key string, res *core.Result) {
 		return
 	}
 	c.entries[key] = c.ll.PushFront(&entry{key: key, res: res})
+	// goroutine: bounded — every iteration removes one list element, so
+	// the loop runs at most Len()-capacity times.
 	for c.ll.Len() > c.capacity {
 		back := c.ll.Back()
 		c.ll.Remove(back)

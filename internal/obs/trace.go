@@ -259,6 +259,7 @@ func appendStringField(b []byte, key, v string) []byte {
 // and only grows it when capacity runs out (amortized across events).
 func appendJSONString(b []byte, v string) []byte {
 	b = append(b, '"')
+	// goroutine: bounded — i advances by at least one byte per iteration.
 	for i := 0; i < len(v); {
 		c := v[i]
 		switch {

@@ -176,6 +176,12 @@ func (b *batcher) fire(gk string) {
 	if len(keys) >= 2 {
 		inc(b.groupRuns)
 		add(b.batchReqs, b.runDisjunction(ctx, keys, byKey, schema))
+	} else {
+		// Fewer than two compatible keys means no disjunction ran; clear
+		// keys so the solo fallback below answers every member — a single
+		// "compatible" member would otherwise be claimed by neither path
+		// and starve until its deadline.
+		keys = nil
 	}
 	for _, k := range order {
 		if !contains(keys, k) {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -178,4 +179,95 @@ func TestCompatibleUnionConflict(t *testing.T) {
 	if col, ok := schema.Lookup("a"); !ok || col.Type != predicate.TypeInteger {
 		t.Fatalf("merged schema column a: %+v", col)
 	}
+}
+
+// TestBatcherSingleCompatibleKeyRunsSolo: two distinct predicates share a
+// group (same target columns, same options) but conflict on a non-target
+// column's schema, so compatibleUnion keeps exactly one key. No
+// disjunction can run with a single key; both members must fall back to
+// solo runs instead of starving until their deadlines — the fire()
+// regression where a lone "compatible" key was claimed by neither the
+// disjunction path nor the solo loop. Both arrival orders are pinned
+// deterministically.
+func TestBatcherSingleCompatibleKeyRunsSolo(t *testing.T) {
+	intS := intSchema()
+	dblS := predicate.NewSchema(
+		predicate.Column{Name: "a", Type: predicate.TypeInteger, NotNull: true},
+		predicate.Column{Name: "b", Type: predicate.TypeDouble, NotNull: true},
+	)
+	pInt := mustParsed(t, "a - b < 5 AND b < 1", []string{"a"}, intS)
+	pDbl := mustParsed(t, "a - b < 3 AND b < 1", []string{"a"}, dblS)
+	if groupKeyFor(pInt) != groupKeyFor(pDbl) {
+		t.Fatalf("requests did not share a group key; scenario invalid")
+	}
+
+	orders := []struct {
+		name  string
+		first parsedRequest
+		then  parsedRequest
+	}{
+		{"compatible-first", pInt, pDbl},
+		{"conflicting-first", pDbl, pInt},
+	}
+	for _, tc := range orders {
+		t.Run(tc.name, func(t *testing.T) {
+			synth := cache.NewSynthesizer(64)
+			b := newBatcher(50*time.Millisecond, synth, 30*time.Second)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+
+			var wg sync.WaitGroup
+			outs := make([]batchOutcome, 2)
+			wg.Add(1)
+			go func() { defer wg.Done(); outs[0] = b.do(ctx, tc.first) }()
+			waitForMembers(t, b, groupKeyFor(tc.first), 1)
+			wg.Add(1)
+			go func() { defer wg.Done(); outs[1] = b.do(ctx, tc.then) }()
+			wg.Wait()
+
+			// Neither member may starve into its deadline. The
+			// double-typed predicate legitimately fails synthesis (the
+			// solver rejects mixed-sort atoms) — but it must fail fast
+			// with the solver's own error, not core.ErrTimeout.
+			for i, out := range outs {
+				if errors.Is(out.err, core.ErrTimeout) {
+					t.Fatalf("member %d starved: %v", i, out.err)
+				}
+				if out.batched {
+					t.Fatalf("member %d marked batched; no disjunction can run here", i)
+				}
+			}
+			intOut := outs[0]
+			if tc.first.key != pInt.key {
+				intOut = outs[1]
+			}
+			if intOut.err != nil {
+				t.Fatalf("compatible member failed its solo run: %v", intOut.err)
+			}
+			if intOut.res == nil || !intOut.res.Valid {
+				t.Fatalf("compatible member: invalid result %+v", intOut.res)
+			}
+		})
+	}
+}
+
+// waitForMembers blocks until the group for gk holds at least n members,
+// pinning arrival order without sleeping past the batch tick.
+func waitForMembers(t *testing.T, b *batcher, gk string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		b.mu.Lock()
+		g := b.groups[gk]
+		got := 0
+		if g != nil {
+			got = len(g.members)
+		}
+		b.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("group %q never reached %d members", gk, n)
 }

@@ -218,21 +218,65 @@ func retryable(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
-// sleep waits the retry delay: Retry-After when the server named one,
-// otherwise exponential backoff from the base — both with ±50% jitter so
-// synchronized clients do not re-stampede on the same tick.
-func (c *Client) sleep(ctx context.Context, attempt int, retryAfter string) error {
+// maxRetryAfter caps the server-requested retry delay. Retry-After is
+// remote input: a buggy or hostile server must not be able to park the
+// client for hours with one header.
+const maxRetryAfter = 30 * time.Second
+
+// retryAfterDelay parses a Retry-After header value per RFC 7231 §7.1.3:
+// either delta-seconds or an absolute HTTP-date. Garbage and negative
+// deltas report ok=false; a date already in the past yields zero (retry
+// immediately), matching the delta-seconds "0" case.
+func retryAfterDelay(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// retryDelay computes the pre-jitter delay for one retry: Retry-After
+// when the server named a parseable one (zero falls back to the base
+// backoff, anything above maxRetryAfter is capped to it), otherwise
+// exponential backoff from the base.
+func (c *Client) retryDelay(attempt int, retryAfter string, now time.Time) time.Duration {
 	d := c.backoff << uint(attempt)
-	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-		d = time.Duration(secs) * time.Second
+	if ra, ok := retryAfterDelay(retryAfter, now); ok {
+		d = ra
 		if d == 0 {
 			d = c.backoff
 		}
+		if d > maxRetryAfter {
+			d = maxRetryAfter
+		}
 	}
+	return d
+}
+
+// jitterMult draws the jitter multiplier, uniform in [0.5, 1.5), so
+// synchronized clients do not re-stampede on the same tick.
+func (c *Client) jitterMult() float64 {
 	c.mu.Lock()
-	jitter := 0.5 + c.rng.Float64() // 0.5x .. 1.5x
-	c.mu.Unlock()
-	d = time.Duration(float64(d) * jitter)
+	defer c.mu.Unlock()
+	return 0.5 + c.rng.Float64()
+}
+
+// sleep waits the retry delay: Retry-After when the server named one,
+// otherwise exponential backoff from the base — both with ±50% jitter.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter string) error {
+	d := time.Duration(float64(c.retryDelay(attempt, retryAfter, time.Now())) * c.jitterMult())
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

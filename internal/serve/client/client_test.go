@@ -166,3 +166,68 @@ func TestBareHostGetsScheme(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 }
+
+// TestRetryAfterParsing covers the Retry-After grammar: delta-seconds,
+// absolute HTTP-dates (future and past), zero, and garbage.
+func TestRetryAfterParsing(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+		ok   bool
+	}{
+		{"delta seconds", "7", 7 * time.Second, true},
+		{"zero", "0", 0, true},
+		{"negative", "-3", 0, false},
+		{"garbage", "soon", 0, false},
+		{"empty", "", 0, false},
+		{"http date future", now.Add(42 * time.Second).Format(http.TimeFormat), 42 * time.Second, true},
+		{"http date past", now.Add(-time.Hour).Format(http.TimeFormat), 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := retryAfterDelay(tc.v, now)
+			if ok != tc.ok || got != tc.want {
+				t.Fatalf("retryAfterDelay(%q) = (%v, %v), want (%v, %v)", tc.v, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestRetryDelayCapsAndFallbacks: a huge Retry-After is capped to
+// maxRetryAfter, zero falls back to the base backoff, and garbage uses
+// exponential backoff from the base.
+func TestRetryDelayCapsAndFallbacks(t *testing.T) {
+	c := New("example:1", WithBackoff(100*time.Millisecond))
+	now := time.Now()
+	if d := c.retryDelay(0, "86400", now); d != maxRetryAfter {
+		t.Fatalf("day-long Retry-After gave %v, want cap %v", d, maxRetryAfter)
+	}
+	if d := c.retryDelay(0, now.Add(2*time.Hour).Format(http.TimeFormat), now); d != maxRetryAfter {
+		t.Fatalf("far-future HTTP-date gave %v, want cap %v", d, maxRetryAfter)
+	}
+	if d := c.retryDelay(0, "0", now); d != 100*time.Millisecond {
+		t.Fatalf("zero Retry-After gave %v, want base backoff", d)
+	}
+	if d := c.retryDelay(2, "nonsense", now); d != 400*time.Millisecond {
+		t.Fatalf("garbage Retry-After on attempt 2 gave %v, want 4x base", d)
+	}
+}
+
+// TestJitterEnvelope: the jitter multiplier stays inside the documented
+// ±50% envelope across many draws and actually varies.
+func TestJitterEnvelope(t *testing.T) {
+	c := New("example:1")
+	seen := map[float64]bool{}
+	for i := 0; i < 10000; i++ {
+		m := c.jitterMult()
+		if m < 0.5 || m >= 1.5 {
+			t.Fatalf("draw %d: jitter multiplier %v outside [0.5, 1.5)", i, m)
+		}
+		seen[m] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("jitter drew only %d distinct values in 10000 tries", len(seen))
+	}
+}

@@ -579,6 +579,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// tick — that is the endpoint's point. Each item is admitted (one
 	// token each: a 100-item batch is 100 requests' worth of budget) and
 	// answered independently.
+	// taint: len(req.Items) is bounded by the 1 MiB MaxBytesReader cap
+	// that decodeBody applies before the request can parse at all.
 	out := api.BatchResponse{Items: make([]api.BatchItem, len(req.Items))}
 	var wg sync.WaitGroup
 	for i := range req.Items {

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -513,4 +514,58 @@ func TestClientSharedWithForwarding(t *testing.T) {
 	if !errors.Is(err, core.ErrInvalidOptions) {
 		t.Fatalf("parse error not errors.Is-matchable: %v", err)
 	}
+}
+
+// TestBatchFanOutNoGoroutineLeak: the handleBatch per-item fan-out
+// (go func(i int) joined by wg.Wait) must unwind under cancelled request
+// contexts — every item goroutine exits once its process call observes
+// cancellation, and the goroutine count returns to baseline.
+func TestBatchFanOutNoGoroutineLeak(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	base := runtime.NumGoroutine()
+
+	items := make([]api.SynthesizeRequest, 8)
+	for i := range items {
+		items[i] = api.SynthesizeRequest{
+			Predicate: fmt.Sprintf("a - b < %d AND b < %d", 10+i, i),
+			Cols:      []string{"a"},
+			Schema: []api.SchemaColumn{
+				{Name: "a", Type: "int"},
+				{Name: "b", Type: "int"},
+			},
+			TimeoutMS: 30_000,
+		}
+	}
+	body, err := json.Marshal(api.BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hc := &http.Client{Transport: &http.Transport{}}
+	for round := 0; round < 10; round++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(round%4)*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+api.PathBatch, strings.NewReader(string(body)))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+	}
+	hc.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("batch fan-out leaked goroutines: baseline %d, now %d", base, runtime.NumGoroutine())
 }
