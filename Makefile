@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-engine race-serve race-smt lint lint-json lint-sarif lint-alloc lint-concurrency lint-self memo-report bench-smt bench-serve fuzz-smoke smoke-siad smoke-cluster check clean
+.PHONY: build vet test race race-engine race-serve race-smt race-storage lint lint-json lint-sarif lint-alloc lint-concurrency lint-self memo-report bench-smt bench-serve bench-disk fuzz-smoke fuzz-storage smoke-siad smoke-cluster check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ race-serve:
 # regression suites racy and fresh.
 race-smt:
 	$(GO) test -race -count=1 ./internal/smt/ ./internal/cache/...
+
+# The segment store's append path and scan path are concurrent (RWMutex
+# around the segment list, hooks fired outside the lock); run its suite
+# racy and fresh.
+race-storage:
+	$(GO) test -race -count=1 ./internal/storage/
 
 lint:
 	$(GO) run ./cmd/sialint ./...
@@ -78,8 +84,20 @@ bench-smt:
 bench-serve:
 	$(GO) run ./cmd/siabench -experiment serve -serve-out BENCH_serve.json
 
+# Disk-storage bench: the Fig. 9 runtime comparison over zone-mapped
+# segment files, where the Sia rewrite's synthesized predicate prunes
+# segments before their pages are read. Writes BENCH_disk.json.
+bench-disk:
+	$(GO) run ./cmd/siabench -experiment fig9-disk -queries 40 -scale 1,10 \
+		-disk-out BENCH_disk.json
+
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -run='^$$' ./internal/predicate/
+
+# Segment-decoder fuzz smoke: corrupt inputs must produce ErrCorrupt,
+# never a panic, and valid inputs must round-trip.
+fuzz-storage:
+	$(GO) test -fuzz=FuzzReadSegment -fuzztime=10s -run='^$$' ./internal/storage/
 
 # Black-box daemon smoke test: start siad, probe /healthz and /metrics,
 # require a clean SIGTERM shutdown within 5s.
@@ -93,7 +111,7 @@ smoke-cluster:
 	./scripts/smoke-cluster.sh
 
 # check is the full CI gate: everything must pass before merging.
-check: build vet race race-engine race-serve race-smt lint lint-alloc lint-concurrency lint-self smoke-siad smoke-cluster
+check: build vet race race-engine race-serve race-smt race-storage lint lint-alloc lint-concurrency lint-self smoke-siad smoke-cluster
 
 clean:
 	$(GO) clean ./...

@@ -7,9 +7,13 @@
 //	siabench -experiment table3 -trace cegis.jsonl
 //
 // Experiments: table1, table2, table3, table4, fig6, fig7, fig8, fig9,
-// motivating. Table 2/3 and Fig. 7/8 share one synthesis sweep; Table 4
-// and Fig. 9 share one runtime run. Defaults are laptop-sized; the paper's
-// scale is -queries 200 -scale 100,1000 (TPC-H SF 1 and 10).
+// fig9-disk, motivating, serve. Table 2/3 and Fig. 7/8 share one synthesis
+// sweep; Table 4 and Fig. 9 share one runtime run. fig9-disk repeats the
+// runtime comparison over disk-backed segment storage, where the rewrite's
+// synthesized predicate additionally prunes segments via zone maps
+// (-disk-out writes the BENCH_disk.json artifact). Defaults are
+// laptop-sized; the paper's scale is -queries 200 -scale 100,1000 (TPC-H
+// SF 1 and 10).
 //
 // -trace FILE records every CEGIS loop as JSONL spans (one line per
 // sampling round, learning iteration, verification and outcome — the raw
@@ -43,7 +47,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("experiment", "", "one of table1..table4, fig6..fig9, motivating, serve")
+	exp := flag.String("experiment", "", "one of table1..table4, fig6..fig9, fig9-disk, motivating, serve")
 	all := flag.Bool("all", false, "run every experiment")
 	queries := flag.Int("queries", 40, "number of benchmark queries (paper: 200)")
 	scale := flag.String("scale", "1,10", "comma-separated scale factors (x15k orders; paper SF1/SF10 = 100,1000)")
@@ -57,6 +61,8 @@ func run() error {
 	serveTemplates := flag.Int("serve-templates", 60, "serving experiment: recurring-template pool size")
 	serveCapacity := flag.Int("serve-capacity", 28, "serving experiment: per-replica cache capacity")
 	serveConcurrency := flag.Int("serve-concurrency", 16, "serving experiment: client worker count")
+	diskOut := flag.String("disk-out", "", "with -experiment fig9-disk: write the disk-storage report to this file (the BENCH_disk.json artifact)")
+	segmentRows := flag.Int("segment-rows", 0, "disk experiment: rows per segment file (0 = default)")
 	benchBaseline := flag.String("bench-baseline", "", "embed this previously written -bench-out file as the baseline and report speedups against it")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
@@ -85,7 +91,7 @@ func run() error {
 		}
 		sfs = append(sfs, f)
 	}
-	cfg := experiments.Config{Queries: *queries, Seed: *seed, ScaleFactors: sfs, Parallelism: *parallelism}
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, ScaleFactors: sfs, Parallelism: *parallelism, SegmentRows: *segmentRows}
 
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -206,6 +212,27 @@ func run() error {
 				return fmt.Errorf("writing serve report: %w", err)
 			}
 			fmt.Fprintf(os.Stderr, "serve report: %s\n", *serveOut)
+		}
+	}
+	if run["fig9-disk"] {
+		start := time.Now()
+		rep, err := experiments.Fig9Disk(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "disk experiment: %d records in %v\n",
+			len(rep.Records), time.Since(start).Round(time.Millisecond))
+		section("Fig 9 (disk): segment storage with zone-map pruning", experiments.RenderDisk(rep))
+		if *diskOut != "" {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			out = append(out, '\n')
+			if err := os.WriteFile(*diskOut, out, 0o644); err != nil {
+				return fmt.Errorf("writing disk report: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "disk report: %s\n", *diskOut)
 		}
 	}
 	if *benchOut != "" {

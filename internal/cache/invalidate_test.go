@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"context"
+	"testing"
+
+	"sia/internal/core"
+	"sia/internal/predicate"
+)
+
+func TestInvalidateTags(t *testing.T) {
+	c := New(8)
+	fill := func(key string, tags ...string) {
+		_, _, err := c.DoTagged(context.Background(), key, tags,
+			func(context.Context) (*core.Result, error) { return result(1), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fill("a", "x", "y")
+	fill("b", "y")
+	fill("c", "z")
+	fill("d") // untagged: never invalidated
+
+	if n := c.InvalidateTags([]string{"nope"}); n != 0 {
+		t.Fatalf("absent tag removed %d entries", n)
+	}
+	if n := c.InvalidateTags([]string{"y"}); n != 2 {
+		t.Fatalf("tag y removed %d entries, want 2", n)
+	}
+	for key, want := range map[string]bool{"a": false, "b": false, "c": true, "d": true} {
+		if _, ok := c.Peek(key); ok != want {
+			t.Fatalf("after invalidate, Peek(%s) = %v, want %v", key, ok, want)
+		}
+	}
+	s := c.Stats()
+	if s.Invalidations != 2 || s.Entries != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// Repeating the invalidation is a no-op: the tag index was cleaned.
+	if n := c.InvalidateTags([]string{"y", "x"}); n != 0 {
+		t.Fatalf("second invalidation removed %d entries", n)
+	}
+
+	// A re-stored key under new tags is tracked under the new tags only.
+	fill("a", "z")
+	if n := c.InvalidateTags([]string{"x"}); n != 0 {
+		t.Fatalf("stale tag x removed %d entries", n)
+	}
+	if n := c.InvalidateTags([]string{"z"}); n != 2 {
+		t.Fatalf("tag z removed %d entries, want 2", n)
+	}
+}
+
+func TestEvictionCleansTagIndex(t *testing.T) {
+	c := New(2)
+	for _, key := range []string{"a", "b", "c"} { // capacity 2: evicts "a"
+		c.PutTagged(key, result(1), []string{"t"})
+	}
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("entry a should have been evicted")
+	}
+	if n := c.InvalidateTags([]string{"t"}); n != 2 {
+		t.Fatalf("invalidation removed %d entries, want 2 (evicted key must not count)", n)
+	}
+	c.mu.Lock()
+	idx := len(c.tagIndex)
+	c.mu.Unlock()
+	if idx != 0 {
+		t.Fatalf("tag index holds %d tags after all entries left", idx)
+	}
+}
+
+// TestSynthesizeTagsVisibleColumns pins the synthesizer-level contract the
+// storage append hook relies on: a cached result is invalidated by any of
+// the columns its request could see, and survives unrelated columns.
+func TestSynthesizeTagsVisibleColumns(t *testing.T) {
+	schema := intSchema("a", "b", "c")
+	p := predicate.NewAnd(
+		predicate.Cmp(predicate.CmpLT, predicate.Col("a", predicate.TypeInteger), predicate.IntConst(10)),
+		predicate.Cmp(predicate.CmpGT, predicate.Col("b", predicate.TypeInteger), predicate.IntConst(0)),
+	)
+	s := NewSynthesizer(8)
+	opts := core.Options{}
+
+	synth := func() bool {
+		_, cached, err := s.Synthesize(context.Background(), p, []string{"b"}, schema, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cached
+	}
+	if synth() {
+		t.Fatal("first synthesis should miss")
+	}
+	if !synth() {
+		t.Fatal("second synthesis should hit")
+	}
+	if n := s.InvalidateColumns([]string{"c"}); n != 0 {
+		t.Fatalf("unrelated column invalidated %d entries", n)
+	}
+	if !synth() {
+		t.Fatal("result should survive an unrelated-column invalidation")
+	}
+	if n := s.InvalidateColumns([]string{"b"}); n != 1 { // target column
+		t.Fatalf("target column invalidated %d entries, want 1", n)
+	}
+	if synth() {
+		t.Fatal("synthesis after target-column invalidation should miss")
+	}
+	if n := s.InvalidateColumns([]string{"a"}); n != 1 { // predicate column
+		t.Fatalf("predicate column invalidated %d entries, want 1", n)
+	}
+}

@@ -55,6 +55,9 @@ type Config struct {
 	// experiments as JSONL spans (see internal/obs). Tracing makes runs
 	// uncacheable, so Fig9's synthesis memoization is bypassed.
 	Tracer *obs.Tracer
+	// SegmentRows is the rows-per-segment of the disk experiment
+	// (Fig9Disk). Non-positive means DefaultSegmentRows.
+	SegmentRows int
 }
 
 func (c Config) withDefaults() Config {

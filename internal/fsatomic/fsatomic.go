@@ -1,0 +1,83 @@
+// Package fsatomic writes files atomically *and* durably: content goes to
+// a temporary file in the destination directory, is fsynced, renamed over
+// the destination, and the parent directory is fsynced so the rename
+// itself survives a crash.
+//
+// Rename-only "atomic" writes (the usual tmp+rename idiom) leave a window
+// where a crash after the rename surfaces an empty or torn file: the
+// rename can reach the journal before the data blocks do. Both the serving
+// tier's cache snapshots and the storage layer's segment files are read
+// back after restarts, so they use this package instead of hand-rolling
+// the idiom.
+package fsatomic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically and durably replaces path with the bytes produced
+// by write. On any error the destination is left untouched (the previous
+// content, if any, remains) and the temporary file is removed.
+//
+// The sequence is: create tmp in path's directory → write(tmp) → fsync
+// tmp → close → rename tmp over path → fsync the directory. A reader
+// therefore never observes a partially written file from this writer, and
+// a crash at any point leaves either the old content or the new content —
+// never a torn or empty file.
+func WriteFile(path string, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".fsatomic-*")
+	if err != nil {
+		return fmt.Errorf("fsatomic: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fsatomic: %s %s: %w", step, path, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail("writing", err)
+	}
+	// The data must be on disk before the rename publishes it: a rename
+	// can be journaled ahead of the data blocks, and a crash in between
+	// would surface an empty or torn file under the final name.
+	if err := tmp.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsatomic: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsatomic: publishing %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// WriteFileBytes is WriteFile for callers that already hold the whole
+// content in memory.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Some filesystems reject fsync on directories; that is not a data-loss
+// path (the rename is still atomic), so only open errors are reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsatomic: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("fsatomic: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package fsatomic
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileBytesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	want := []byte("hello, durable world")
+	if err := WriteFileBytes(path, want); err != nil {
+		t.Fatalf("WriteFileBytes: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("content = %q, want %q", got, want)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteFileBytes(path, []byte("old")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := WriteFileBytes(path, []byte("new content")); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new content" {
+		t.Fatalf("content = %q, want %q", got, "new content")
+	}
+}
+
+// TestWriteFileErrorKeepsOld is the crash-safety contract a caller can
+// test for: when the write callback fails, the destination keeps its
+// previous content and no temporary file is left behind.
+func TestWriteFileErrorKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileBytes(path, []byte("precious")); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	boom := errors.New("disk full")
+	err := WriteFile(path, func(f *os.File) error {
+		_, _ = f.Write([]byte("torn"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped %v", err, boom)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "precious" {
+		t.Fatalf("content = %q, %v; want old content intact", got, rerr)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".fsatomic-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("want error for missing parent directory")
+	}
+}

@@ -24,11 +24,11 @@ const (
 func EstimateRows(n Node, c *Catalog) (float64, error) {
 	switch x := n.(type) {
 	case *Scan:
-		t, err := c.Table(x.TableName)
+		n, err := c.rowCount(x.TableName)
 		if err != nil {
 			return 0, err
 		}
-		return float64(t.NumRows()), nil
+		return float64(n), nil
 	case *Filter:
 		in, err := EstimateRows(x.Input, c)
 		if err != nil {
@@ -89,11 +89,11 @@ func EstimateRows(n Node, c *Catalog) (float64, error) {
 func baseRows(n Node, c *Catalog) (float64, error) {
 	switch x := n.(type) {
 	case *Scan:
-		t, err := c.Table(x.TableName)
+		n, err := c.rowCount(x.TableName)
 		if err != nil {
 			return 0, err
 		}
-		return float64(t.NumRows()), nil
+		return float64(n), nil
 	case *Filter:
 		return baseRows(x.Input, c)
 	case *Project:

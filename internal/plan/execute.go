@@ -52,8 +52,17 @@ func ExecuteOpts(n Node, c *Catalog, opts ExecOptions) (*engine.Table, *ExecStat
 func exec(n Node, c *Catalog, stats *ExecStats, opts ExecOptions) (*engine.Table, error) {
 	switch x := n.(type) {
 	case *Scan:
+		if src, ok := c.sourceFor(x); ok {
+			return src.ScanFilter(nil, opts.Parallelism)
+		}
 		return c.Table(x.TableName)
 	case *Filter:
+		// A filter directly over an external source hands its predicate to
+		// the source's combined scan+filter, which may prune whole
+		// segments before reading them.
+		if src, ok := c.sourceFor(x.Input); ok {
+			return src.ScanFilter(x.Pred, opts.Parallelism)
+		}
 		in, err := exec(x.Input, c, stats, opts)
 		if err != nil {
 			return nil, err
@@ -63,14 +72,28 @@ func exec(n Node, c *Catalog, stats *ExecStats, opts ExecOptions) (*engine.Table
 		// Fuse a Filter directly above a child into the join's build or
 		// probe phase: the pushed-down predicate is then evaluated during
 		// the scan without materializing an intermediate table, the way
-		// real engines execute pushdown.
+		// real engines execute pushdown. Source-backed children instead
+		// pre-materialize through ScanFilter, so the pushed-down predicate
+		// still reaches the source's zone maps.
 		lchild, lpred := fusedChild(x.Left)
 		rchild, rpred := fusedChild(x.Right)
-		l, err := exec(lchild, c, stats, opts)
+		var l, r *engine.Table
+		var err error
+		if src, ok := c.sourceFor(lchild); ok {
+			l, err = src.ScanFilter(lpred, opts.Parallelism)
+			lpred = nil
+		} else {
+			l, err = exec(lchild, c, stats, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
-		r, err := exec(rchild, c, stats, opts)
+		if src, ok := c.sourceFor(rchild); ok {
+			r, err = src.ScanFilter(rpred, opts.Parallelism)
+			rpred = nil
+		} else {
+			r, err = exec(rchild, c, stats, opts)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -13,33 +13,43 @@ import (
 	"sia/internal/predicate"
 )
 
-// Catalog resolves table names to stored tables.
+// Catalog resolves table names to stored tables: in-memory engine tables
+// and external TableSources (disk-backed segment tables). A name registered
+// both ways resolves to the in-memory table.
 type Catalog struct {
-	tables map[string]*engine.Table
+	tables  map[string]*engine.Table
+	sources map[string]TableSource
 }
 
 // NewCatalog returns an empty catalog.
-func NewCatalog() *Catalog { return &Catalog{tables: map[string]*engine.Table{}} }
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*engine.Table{}, sources: map[string]TableSource{}}
+}
 
 // Add registers a table under its name.
 func (c *Catalog) Add(t *engine.Table) { c.tables[t.Name] = t }
 
-// Table looks a table up by name.
+// Table looks an in-memory table up by name.
 func (c *Catalog) Table(name string) (*engine.Table, error) {
 	t, ok := c.tables[name]
 	if !ok {
+		if _, isSrc := c.sources[name]; isSrc {
+			return nil, fmt.Errorf("plan: table %q is an external source, not an in-memory table", name)
+		}
 		return nil, fmt.Errorf("plan: unknown table %q", name)
 	}
 	return t, nil
 }
 
-// Schema returns the schema of a named table.
+// Schema returns the schema of a named table or source.
 func (c *Catalog) Schema(name string) (*predicate.Schema, error) {
-	t, err := c.Table(name)
-	if err != nil {
-		return nil, err
+	if t, ok := c.tables[name]; ok {
+		return t.Schema(), nil
 	}
-	return t.Schema(), nil
+	if s, ok := c.sources[name]; ok {
+		return s.Schema(), nil
+	}
+	return nil, fmt.Errorf("plan: unknown table %q", name)
 }
 
 // Node is a logical plan operator.

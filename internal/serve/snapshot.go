@@ -4,11 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
 	"sia/internal/core"
+	"sia/internal/fsatomic"
 	"sia/internal/predicate"
 	"sia/internal/serve/api"
 )
@@ -95,11 +95,13 @@ func (t *schemaTable) prune(live map[string]bool) {
 	}
 }
 
-// writeSnapshot persists the cache to path atomically: the file is
-// written next to its destination and renamed into place, so a crash
-// mid-write leaves the previous snapshot intact and a reader never sees a
-// half-written file from this writer (truncation can still happen to the
-// machine — the loader treats it as a cold start).
+// writeSnapshot persists the cache to path atomically and durably via
+// fsatomic: the file is written next to its destination, fsynced, renamed
+// into place, and the directory is fsynced — so a crash at any point
+// leaves either the previous snapshot or the new one, never an empty or
+// torn file under the final name. (A rename without the fsyncs can be
+// journaled before the data blocks reach disk; a crash in that window
+// used to surface an empty snapshot despite the "atomic" rename.)
 func (s *Server) writeSnapshot(path string) (int, error) {
 	entries := s.synth.Export()
 	live := make(map[string]bool, len(entries))
@@ -131,24 +133,8 @@ func (s *Server) writeSnapshot(path string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("serve: encoding snapshot: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".sia-snapshot-*")
-	if err != nil {
-		return 0, fmt.Errorf("serve: snapshot temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+	if err := fsatomic.WriteFileBytes(path, raw); err != nil {
 		return 0, fmt.Errorf("serve: writing snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return 0, fmt.Errorf("serve: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return 0, fmt.Errorf("serve: publishing snapshot: %w", err)
 	}
 	return len(snap.Entries), nil
 }

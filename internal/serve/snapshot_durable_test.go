@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotWriteIsAtomicAndClean is the regression test for the
+// torn-snapshot bug: the writer used a bare tmp+rename with no fsync, so a
+// crash after the rename could surface an empty or torn snapshot. The
+// writer now goes through fsatomic (write → fsync file → rename → fsync
+// dir). This test pins the observable half of that contract: every write
+// leaves a fully parseable snapshot under the final name, never a partial
+// file, and no temporary files linger in the directory.
+func TestSnapshotWriteIsAtomicAndClean(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	cfg := testConfig()
+	cfg.SnapshotPath = path
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 3; i++ {
+		if _, err := srv.WriteSnapshot(); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		var snap snapshotFile
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("write %d produced unparseable snapshot: %v", i, err)
+		}
+		if snap.Version != snapshotVersion {
+			t.Fatalf("write %d: version %d, want %d", i, snap.Version, snapshotVersion)
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".fsatomic-") || strings.HasPrefix(e.Name(), ".sia-snapshot-") {
+			t.Fatalf("leftover temporary file %s after snapshot writes", e.Name())
+		}
+	}
+}
